@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches (bench/fig*_* and
+ * bench/table*_*). Each bench binary regenerates one table or figure
+ * of the paper: it runs the relevant (app x protocol x cores)
+ * configurations through sys::runExperiment and prints the same rows
+ * or series the paper reports.
+ *
+ * Environment:
+ *   WIDIR_BENCH_SCALE   work multiplier (default per bench)
+ *   WIDIR_BENCH_CORES   override the core count where applicable
+ *   WIDIR_BENCH_APPS    comma-separated subset of app names
+ */
+
+#ifndef WIDIR_BENCH_COMMON_H
+#define WIDIR_BENCH_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "system/experiment.h"
+#include "workload/registry.h"
+
+namespace widir::bench {
+
+using coherence::Protocol;
+using sys::ExperimentResult;
+using sys::ExperimentSpec;
+using workload::AppInfo;
+
+/** Apps to run: all 20, or the WIDIR_BENCH_APPS subset. */
+inline std::vector<const AppInfo *>
+benchApps()
+{
+    std::vector<const AppInfo *> selected;
+    const char *env = std::getenv("WIDIR_BENCH_APPS");
+    if (!env || !*env) {
+        for (const auto &app : workload::allApps())
+            selected.push_back(&app);
+        return selected;
+    }
+    std::string list(env);
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        std::size_t comma = list.find(',', pos);
+        std::string name = list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (const AppInfo *app = workload::findApp(name))
+            selected.push_back(app);
+        else
+            std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+        pos = comma == std::string::npos ? comma : comma + 1;
+    }
+    return selected;
+}
+
+/** Core count override. */
+inline std::uint32_t
+benchCores(std::uint32_t fallback)
+{
+    if (const char *env = std::getenv("WIDIR_BENCH_CORES")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<std::uint32_t>(v);
+    }
+    return fallback;
+}
+
+/** Run one app under one protocol with bench-standard settings. */
+inline ExperimentResult
+run(const AppInfo &app, Protocol proto, std::uint32_t cores,
+    std::uint32_t scale, std::uint32_t max_wired_sharers = 3)
+{
+    ExperimentSpec spec;
+    spec.app = &app;
+    spec.protocol = proto;
+    spec.cores = cores;
+    spec.scale = scale;
+    spec.maxWiredSharers = max_wired_sharers;
+    return sys::runExperiment(spec);
+}
+
+/** Header banner naming the experiment being regenerated. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n  (reproduces %s of the WiDir paper, HPCA 2021)\n",
+                what, paper_ref);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+/** Geometric mean helper for normalized ratios. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+} // namespace widir::bench
+
+#endif // WIDIR_BENCH_COMMON_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Fig. 10 (left): average execution speedup of WiDir and
+ * Baseline as the core count grows (4, 16, 32, 64), relative to the
+ * 4-core Baseline. The paper shows the two curves tracking up to 16
+ * cores and diverging at 32-64 cores: WiDir is the more scalable
+ * protocol.
+ *
+ * Speedups are computed per app relative to that app's 4-core
+ * Baseline run, then averaged (geometric mean).
+ */
+
+#include "common.h"
+
+#include <map>
+
+int
+main()
+{
+    using namespace widir;
+    using namespace widir::bench;
+
+    std::uint32_t scale = sys::benchScale(4);
+    const std::uint32_t core_counts[] = {4, 16, 32, 64};
+
+    banner("Fig. 10: speedup over the 4-core Baseline", "Figure 10");
+
+    // Per-app 4-core baseline reference.
+    std::map<std::string, double> reference;
+    for (const AppInfo *app : benchApps()) {
+        auto r = run(*app, Protocol::BaselineMESI, 4, scale);
+        reference[app->name] = static_cast<double>(r.cycles);
+    }
+
+    std::printf("%-8s %14s %14s\n", "cores", "baseline", "widir");
+    for (std::uint32_t cores : core_counts) {
+        std::vector<double> base_speedups, widir_speedups;
+        for (const AppInfo *app : benchApps()) {
+            double ref = reference[app->name];
+            auto base = run(*app, Protocol::BaselineMESI, cores, scale);
+            auto widir = run(*app, Protocol::WiDir, cores, scale);
+            base_speedups.push_back(
+                ref / static_cast<double>(base.cycles));
+            widir_speedups.push_back(
+                ref / static_cast<double>(widir.cycles));
+        }
+        std::printf("%-8u %14.2f %14.2f\n", cores,
+                    geomean(base_speedups), geomean(widir_speedups));
+    }
+    std::printf("---\n(paper: curves overlap through 16 cores, then "
+                "WiDir pulls ahead at 32-64)\n");
+    return 0;
+}

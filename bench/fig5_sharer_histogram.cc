@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Fig. 5: histogram of the number of sharers updated by
+ * each wireless write in WiDir (bins: <=5, 6-10, 11-25, 26-49, 50+).
+ * The paper reports ~36% of updates reach <=5 sharers and ~37% reach
+ * 50+ (locks/barriers shared by everyone).
+ */
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace widir;
+    using namespace widir::bench;
+
+    std::uint32_t cores = benchCores(64);
+    std::uint32_t scale = sys::benchScale(4);
+
+    banner("Fig. 5: sharers updated per wireless write (WiDir)",
+           "Figure 5");
+    std::printf("%-14s %8s %8s %8s %8s %8s | %9s\n", "app", "<=5",
+                "6-10", "11-25", "26-49", "50+", "updates");
+
+    std::vector<std::uint64_t> total(5, 0);
+    for (const AppInfo *app : benchApps()) {
+        auto r = run(*app, Protocol::WiDir, cores, scale);
+        std::uint64_t updates = 0;
+        for (auto c : r.sharersUpdatedBins)
+            updates += c;
+        std::printf("%-14s", app->name);
+        for (std::size_t b = 0; b < 5 && b < r.sharersUpdatedBins.size();
+             ++b) {
+            double frac = updates
+                ? 100.0 * static_cast<double>(r.sharersUpdatedBins[b]) /
+                      static_cast<double>(updates)
+                : 0.0;
+            total[b] += r.sharersUpdatedBins[b];
+            std::printf(" %7.1f%%", frac);
+        }
+        std::printf(" | %9llu\n",
+                    static_cast<unsigned long long>(updates));
+    }
+    std::uint64_t grand = 0;
+    for (auto c : total)
+        grand += c;
+    std::printf("---\naverage        ");
+    for (std::size_t b = 0; b < 5; ++b) {
+        std::printf(" %7.1f%%",
+                    grand ? 100.0 * static_cast<double>(total[b]) /
+                                static_cast<double>(grand)
+                          : 0.0);
+    }
+    std::printf("\n(paper averages: <=5 ~36%%, 50+ ~37%%)\n");
+    return 0;
+}

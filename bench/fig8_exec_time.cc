@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Fig. 8: execution time of WiDir normalized to Baseline
+ * for 64-, 32- and 16-core runs, with each bar split into memory-stall
+ * cycles and the rest. The paper reports average execution-time
+ * reductions of ~22% (64 cores), ~11% (32) and ~4% (16), and an
+ * average Baseline memory-stall share near 65% at 64 cores.
+ */
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace widir;
+    using namespace widir::bench;
+
+    std::uint32_t scale = sys::benchScale(4);
+
+    banner("Fig. 8: normalized execution time (memory stall + rest)",
+           "Figure 8 (a,b,c)");
+
+    for (std::uint32_t cores : {64u, 32u, 16u}) {
+        std::printf("\n--- %u cores ---\n", cores);
+        std::printf("%-14s %10s %7s | %10s %7s | %8s\n", "app",
+                    "base.cyc", "stall%", "widir.cyc", "stall%",
+                    "norm");
+        std::vector<double> ratios;
+        for (const AppInfo *app : benchApps()) {
+            auto base = run(*app, Protocol::BaselineMESI, cores, scale);
+            auto widir = run(*app, Protocol::WiDir, cores, scale);
+            double norm = base.cycles
+                ? static_cast<double>(widir.cycles) /
+                      static_cast<double>(base.cycles)
+                : 1.0;
+            ratios.push_back(norm);
+            std::printf("%-14s %10llu %6.1f%% | %10llu %6.1f%% |"
+                        " %8.3f\n",
+                        app->name,
+                        static_cast<unsigned long long>(base.cycles),
+                        100.0 * base.memStallFraction(),
+                        static_cast<unsigned long long>(widir.cycles),
+                        100.0 * widir.memStallFraction(), norm);
+        }
+        std::printf("average normalized time at %u cores: %.3f\n",
+                    cores, mean(ratios));
+    }
+    std::printf("---\n(paper averages: 0.78 at 64, 0.89 at 32, "
+                "0.96 at 16 cores)\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Fig. 9: energy consumed by WiDir and Baseline,
+ * normalized to Baseline, broken into core / L1 / L2+directory /
+ * wired NoC / WNoC. The paper reports ~21% lower energy for WiDir on
+ * average, with the WNoC contributing ~5.9% of WiDir's energy, and a
+ * Baseline split near 60% core / 5% L1 / 20% L2+dir / 15% NoC.
+ */
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace widir;
+    using namespace widir::bench;
+
+    std::uint32_t cores = benchCores(64);
+    std::uint32_t scale = sys::benchScale(4);
+
+    banner("Fig. 9: normalized energy breakdown", "Figure 9");
+    std::printf("%-14s | %-31s | %-37s | %6s\n", "app",
+                "baseline shares (co/l1/l2/noc)",
+                "widir shares (co/l1/l2/noc/wnoc)", "norm");
+
+    std::vector<double> ratios;
+    double base_share[4] = {0, 0, 0, 0};
+    double widir_wnoc_share = 0.0;
+    int n = 0;
+    for (const AppInfo *app : benchApps()) {
+        auto base = run(*app, Protocol::BaselineMESI, cores, scale);
+        auto widir = run(*app, Protocol::WiDir, cores, scale);
+        double bt = base.energy.total();
+        double wt = widir.energy.total();
+        double norm = bt > 0.0 ? wt / bt : 1.0;
+        ratios.push_back(norm);
+        base_share[0] += base.energy.core / bt;
+        base_share[1] += base.energy.l1 / bt;
+        base_share[2] += base.energy.l2dir / bt;
+        base_share[3] += base.energy.noc / bt;
+        widir_wnoc_share += widir.energy.wnoc / wt;
+        ++n;
+        std::printf("%-14s | %5.1f%% %5.1f%% %5.1f%% %5.1f%%      | "
+                    "%5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% | %6.3f\n",
+                    app->name, 100 * base.energy.core / bt,
+                    100 * base.energy.l1 / bt,
+                    100 * base.energy.l2dir / bt,
+                    100 * base.energy.noc / bt,
+                    100 * widir.energy.core / wt,
+                    100 * widir.energy.l1 / wt,
+                    100 * widir.energy.l2dir / wt,
+                    100 * widir.energy.noc / wt,
+                    100 * widir.energy.wnoc / wt, norm);
+    }
+    std::printf("---\naverage normalized energy: %.3f "
+                "(paper ~0.79);  baseline shares core/l1/l2/noc = "
+                "%.0f/%.0f/%.0f/%.0f%% (paper ~60/5/20/15);  "
+                "WNoC share of WiDir: %.1f%% (paper ~5.9%%)\n",
+                mean(ratios), 100 * base_share[0] / n,
+                100 * base_share[1] / n, 100 * base_share[2] / n,
+                100 * base_share[3] / n, 100 * widir_wnoc_share / n);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates: event
+ * queue throughput, cache array lookups, mesh message routing, and
+ * wireless channel arbitration. These measure host performance of the
+ * infrastructure (not simulated metrics) and guard against
+ * regressions that would make the experiment suite slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache_array.h"
+#include "noc/mesh.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "wireless/data_channel.h"
+
+namespace {
+
+using namespace widir;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 1000; ++i) {
+            q.scheduleAt(static_cast<sim::Tick>(i * 3 % 997),
+                         [&sum] { ++sum; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    mem::CacheArray cache(64 * 1024, 2);
+    mem::LineData d;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        sim::Addr a = i * 64;
+        cache.fill(cache.pickVictim(a), a, 1, d);
+    }
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        auto *e = cache.lookup((i++ % 512) * 64);
+        benchmark::DoNotOptimize(e);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_MeshSend(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        noc::MeshConfig cfg;
+        cfg.numNodes = 64;
+        noc::Mesh mesh(s, cfg);
+        int delivered = 0;
+        for (sim::NodeId n = 0; n < 64; ++n)
+            mesh.send(n, 63 - n, 584, [&delivered] { ++delivered; });
+        s.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MeshSend);
+
+void
+BM_WirelessArbitration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        wireless::DataChannelConfig cfg;
+        cfg.numNodes = 64;
+        wireless::DataChannel ch(s, cfg);
+        int committed = 0;
+        for (sim::NodeId n = 0; n < 16; ++n) {
+            wireless::Frame f;
+            f.src = n;
+            f.kind = wireless::FrameKind::WirUpd;
+            f.lineAddr = 0x1000 + n * 64;
+            f.wordAddr = f.lineAddr;
+            ch.transmit(f, [&committed] { ++committed; });
+        }
+        s.run();
+        benchmark::DoNotOptimize(committed);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_WirelessArbitration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Regenerates Table IV: the evaluated applications characterized by
+ * their L1 misses-per-kilo-instruction under the Baseline protocol.
+ */
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace widir;
+    using namespace widir::bench;
+
+    std::uint32_t cores = benchCores(64);
+    std::uint32_t scale = sys::benchScale(4);
+
+    banner("Table IV: application L1 MPKI under Baseline",
+           "Table IV");
+    std::printf("%-14s %-9s %10s %10s %8s\n", "app", "suite",
+                "mpki(sim)", "mpki(ppr)", "cycles");
+
+    for (const AppInfo *app : benchApps()) {
+        auto r = run(*app, Protocol::BaselineMESI, cores, scale);
+        std::printf("%-14s %-9s %10.2f %10.2f %8llu\n", app->name,
+                    app->suite, r.mpki(), app->paperMpki,
+                    static_cast<unsigned long long>(r.cycles));
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Table VI + Fig. 10 (right): sensitivity of WiDir to the
+ * MaxWiredSharers threshold (2, 3, 4, 5) at 64 cores. For each value
+ * it reports (i) the average execution-time speedup of WiDir over
+ * Baseline and (ii) the wireless-collision probability. The paper
+ * reports Sp. 1.22/1.43/1.38/1.31x and collision probabilities
+ * 6.93/3.14/2.24/1.70% for MaxWiredSharers = 2/3/4/5: switching
+ * earlier puts more lines in wireless mode and collides more;
+ * switching later wastes opportunities.
+ */
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace widir;
+    using namespace widir::bench;
+
+    std::uint32_t cores = benchCores(64);
+    std::uint32_t scale = sys::benchScale(4);
+
+    banner("Table VI: MaxWiredSharers sensitivity (64 cores)",
+           "Table VI");
+
+    // Baseline reference per app (independent of the threshold).
+    std::vector<double> base_cycles;
+    auto the_apps = benchApps();
+    for (const AppInfo *app : the_apps) {
+        auto r = run(*app, Protocol::BaselineMESI, cores, scale);
+        base_cycles.push_back(static_cast<double>(r.cycles));
+    }
+
+    std::printf("%-16s %12s %12s\n", "MaxWiredSharers", "speedup",
+                "coll.prob");
+    for (std::uint32_t mws : {2u, 3u, 4u, 5u}) {
+        std::vector<double> speedups;
+        double coll_num = 0.0;
+        int coll_n = 0;
+        for (std::size_t i = 0; i < the_apps.size(); ++i) {
+            auto r = run(*the_apps[i], Protocol::WiDir, cores, scale,
+                         mws);
+            speedups.push_back(base_cycles[i] /
+                               static_cast<double>(r.cycles));
+            coll_num += r.collisionProbability;
+            ++coll_n;
+        }
+        std::printf("%-16u %11.2fx %11.2f%%\n", mws,
+                    geomean(speedups),
+                    100.0 * coll_num / (coll_n ? coll_n : 1));
+    }
+    std::printf("---\n(paper: 1.22x/6.93%%, 1.43x/3.14%%, "
+                "1.38x/2.24%%, 1.31x/1.70%% for 2/3/4/5)\n");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Scenario: writing your own workload against the public API.
+ *
+ * Thread programs are C++20 coroutines over the cpu::Thread
+ * awaitables; the workload::sync library provides locks and barriers
+ * built from the same simulated memory operations. This example
+ * implements a small producer/consumer ring with a shared head/tail
+ * pair plus a global progress counter, runs it under both protocols,
+ * and validates the functional results (the simulator carries real
+ * data through the coherence protocol).
+ */
+
+#include <cstdio>
+
+#include "system/checker.h"
+#include "system/manycore.h"
+#include "workload/addr_map.h"
+#include "workload/sync.h"
+
+using namespace widir;
+using cpu::Task;
+using cpu::Thread;
+using workload::AddrMap;
+namespace syn = workload::sync;
+
+namespace {
+
+constexpr sim::Addr kRingBase = AddrMap::sharedArray(30);
+constexpr sim::Addr kHead = AddrMap::sharedLine(50);   // consumer claim
+constexpr sim::Addr kTail = AddrMap::sharedLine(51);   // producer claim
+constexpr sim::Addr kSum = AddrMap::sharedLine(52);    // checksum
+constexpr std::uint64_t kRingSlots = 64; // one line per slot
+constexpr std::uint64_t kItems = 256;
+
+sim::Addr
+slotAddr(std::uint64_t idx)
+{
+    return kRingBase + (idx % kRingSlots) * mem::kLineBytes;
+}
+
+/**
+ * Even threads produce, odd threads consume. Producers claim a slot
+ * index with an atomic, write the item and publish it; consumers
+ * claim indices and spin until their slot's sequence number appears.
+ */
+Task
+ringBody(Thread &t)
+{
+    if ((t.id() & 1) == 0) {
+        for (;;) {
+            std::uint64_t idx = co_await t.fetchAdd(kTail, 1);
+            if (idx >= kItems)
+                break;
+            // Wait for the slot to be free (sequence lags by a ring).
+            if (idx >= kRingSlots) {
+                co_await syn::spinUntilAtLeast(t, kHead,
+                                               idx - kRingSlots + 1);
+            }
+            co_await t.compute(80); // "produce" the item
+            co_await t.store(slotAddr(idx) + 8, idx + 1000);
+            co_await t.fence();
+            co_await t.store(slotAddr(idx), idx + 1); // publish seq
+            co_await t.fence();
+        }
+    } else {
+        for (;;) {
+            std::uint64_t idx = co_await t.fetchAdd(kHead, 1);
+            if (idx >= kItems)
+                break;
+            co_await syn::spinUntilEquals(t, slotAddr(idx), idx + 1);
+            std::uint64_t payload = co_await t.load(slotAddr(idx) + 8);
+            co_await t.fetchAdd(kSum, payload);
+            co_await t.compute(60); // "consume"
+        }
+    }
+    co_return;
+}
+
+} // namespace
+
+int
+main()
+{
+    for (auto protocol : {coherence::Protocol::BaselineMESI,
+                          coherence::Protocol::WiDir}) {
+        bool wireless = protocol == coherence::Protocol::WiDir;
+        sys::SystemConfig cfg = wireless ? sys::SystemConfig::widir(16)
+                                         : sys::SystemConfig::baseline(16);
+        sys::Manycore machine(cfg);
+        sim::Tick cycles =
+            machine.run([](Thread &t) { return ringBody(t); });
+
+        // Functional validation: every produced payload was summed
+        // exactly once. Expected sum = sum_{i=0}^{255} (i + 1000).
+        std::uint64_t expect = 0;
+        for (std::uint64_t i = 0; i < kItems; ++i)
+            expect += i + 1000;
+        std::uint64_t got = machine.memory().peekLine(kSum).word(kSum);
+        // The line may still live in a cache; flush view via checker
+        // accessors.
+        for (sim::NodeId n = 0; n < machine.numCores(); ++n) {
+            std::uint64_t v;
+            if (machine.l1(n).stateOf(kSum) != coherence::L1State::I &&
+                machine.l1(n).peekWord(kSum, v)) {
+                got = v;
+            }
+        }
+        if (auto *e = machine.dir(machine.fabric().homeOf(kSum))
+                          .llc()
+                          .lookup(kSum)) {
+            if (machine.dir(machine.fabric().homeOf(kSum)).stateOf(kSum)
+                    != coherence::DirState::EM) {
+                got = e->data.word(kSum);
+            }
+        }
+
+        auto violations = sys::checkCoherence(machine);
+        std::printf("%-9s cycles=%8llu checksum=%s coherent=%s\n",
+                    wireless ? "WiDir" : "Baseline",
+                    static_cast<unsigned long long>(cycles),
+                    got == expect ? "OK" : "BAD",
+                    violations.empty() ? "yes" : "NO");
+        if (got != expect) {
+            std::printf("  expected %llu got %llu\n",
+                        static_cast<unsigned long long>(expect),
+                        static_cast<unsigned long long>(got));
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,1020 @@
+#include "core/directory_controller.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mem/address.h"
+#include "sim/log.h"
+
+namespace widir::coherence {
+
+using mem::CacheEntry;
+using mem::lineAlign;
+using sim::Addr;
+using sim::NodeId;
+using sim::Tick;
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::I:  return "I";
+      case DirState::S:  return "S";
+      case DirState::EM: return "EM";
+      case DirState::W:  return "W";
+    }
+    return "?";
+}
+
+DirectoryController::DirectoryController(CoherenceFabric &fabric,
+                                         sim::NodeId node,
+                                         const LlcConfig &llc_cfg)
+    : fabric_(fabric), node_(node),
+      llc_(llc_cfg.sizeBytes, llc_cfg.assoc, fabric.numNodes())
+{
+}
+
+const DirEntry *
+DirectoryController::entryOf(Addr line) const
+{
+    auto it = entries_.find(lineAlign(line));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+DirState
+DirectoryController::stateOf(Addr line) const
+{
+    const DirEntry *e = entryOf(line);
+    return e ? e->state : DirState::I;
+}
+
+bool
+DirectoryController::busy(Addr line) const
+{
+    return txns_.count(lineAlign(line)) > 0;
+}
+
+DirectoryController::DirTxn *
+DirectoryController::txnOf(Addr line)
+{
+    auto it = txns_.find(lineAlign(line));
+    return it == txns_.end() ? nullptr : &it->second;
+}
+
+DirectoryController::DirTxn &
+DirectoryController::beginTxn(TxnType type, Addr line)
+{
+    auto [it, ok] = txns_.try_emplace(lineAlign(line));
+    WIDIR_ASSERT(ok, "directory txn already in flight for the line");
+    it->second.type = type;
+    it->second.line = lineAlign(line);
+    if (CacheEntry *e = llc_.lookup(line))
+        e->locked = true;
+    return it->second;
+}
+
+void
+DirectoryController::endTxn(Addr line)
+{
+    auto it = txns_.find(lineAlign(line));
+    WIDIR_ASSERT(it != txns_.end(), "ending unknown directory txn");
+    if (it->second.jamming) {
+        fabric_.dataChannel()->stopJamming(it->second.jamId);
+        it->second.jamming = false;
+    }
+    txns_.erase(it);
+    if (CacheEntry *e = llc_.lookup(line))
+        e->locked = false;
+}
+
+void
+DirectoryController::send(Msg msg, Tick extra_delay)
+{
+    msg.src = node_;
+    fabric_.sendWired(msg, extra_delay);
+}
+
+void
+DirectoryController::nack(const Msg &msg)
+{
+    ++stats_.nacksSent;
+    if (const char *env = std::getenv("WIDIR_NACK_DEBUG")) {
+        (void)env;
+        DirTxn *t = txnOf(msg.line);
+        std::fprintf(stderr, "NACK line=%llx txn=%d\n",
+                     (unsigned long long)lineAlign(msg.line),
+                     t ? (int)t->type : -1);
+    }
+    Msg resp;
+    resp.type = MsgType::Nack;
+    resp.dst = msg.src;
+    resp.line = msg.line;
+    send(resp, fabric_.config().dirProcLatency);
+}
+
+// ---------------------------------------------------------------------
+// Incoming wired messages
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::receive(const Msg &msg)
+{
+    WIDIR_ASSERT(fabric_.homeOf(msg.line) == node_,
+                 "message homed at the wrong directory slice");
+    ++stats_.dirAccesses;
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+        handleRequest(msg);
+        break;
+      case MsgType::PutS:
+        handlePutS(msg);
+        break;
+      case MsgType::PutE:
+      case MsgType::PutM:
+        handlePutEM(msg);
+        break;
+      case MsgType::PutW:
+        handlePutW(msg);
+        break;
+      case MsgType::InvAck:
+        handleInvAck(msg);
+        break;
+      case MsgType::OwnerData:
+        handleOwnerData(msg);
+        break;
+      case MsgType::WirUpgrAck:
+        handleWirUpgrAck(msg);
+        break;
+      case MsgType::WirDwgrAck:
+        handleWirDwgrAck(msg);
+        break;
+      default:
+        sim::panic("directory %u received unexpected %s", node_,
+                   msgTypeName(msg.type));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::handleRequest(const Msg &msg)
+{
+    if (msg.type == MsgType::GetS)
+        ++stats_.getS;
+    else
+        ++stats_.getX;
+
+    DirTxn *txn = txnOf(msg.line);
+    if (txn) {
+        // A W->W join in flight can admit further joiners: each gets
+        // its own WirUpgr and its own WirUpgrAck, and SharerCount
+        // increments are commutative, so batching them under one
+        // transaction (with jamming held until the last ack) is safe
+        // and avoids serializing a burst of first-time readers.
+        if (txn->type == TxnType::WJoin &&
+            !(msg.type == MsgType::GetX && msg.isSharer)) {
+            admitJoiner(*txn, msg.src);
+            return;
+        }
+        // Otherwise the blocking directory bounces. This includes
+        // sharer GetX requests that race an in-flight S->W census:
+        // the bounce releases the requester's tone (Section III-B1,
+        // completion case iii names the bounced response explicitly),
+        // and the retry resolves against the settled W state.
+        nack(msg);
+        return;
+    }
+
+    CacheEntry *llc_entry = llc_.lookup(msg.line);
+    if (!llc_entry) {
+        // LLC miss: fetch from memory (or bounce if the set is stuck
+        // behind a recall).
+        CacheEntry *room = makeRoom(msg.line);
+        if (!room) {
+            nack(msg);
+            return;
+        }
+        startFetch(msg);
+        return;
+    }
+    auto it = entries_.find(lineAlign(msg.line));
+    WIDIR_ASSERT(it != entries_.end(),
+                 "LLC entry without directory entry");
+    handleCachedRequest(msg, llc_entry, it->second);
+}
+
+void
+DirectoryController::grant(NodeId dst, Addr line, GrantState state,
+                           const CacheEntry &llc_entry)
+{
+    Msg resp;
+    resp.type = MsgType::Data;
+    resp.dst = dst;
+    resp.line = lineAlign(line);
+    resp.grant = state;
+    resp.hasData = true;
+    resp.data = llc_entry.data;
+    send(resp, fabric_.config().llcDataLatency);
+}
+
+void
+DirectoryController::handleCachedRequest(const Msg &msg,
+                                         CacheEntry *llc_entry,
+                                         DirEntry &entry)
+{
+    const auto &cfg = fabric_.config();
+    llc_.touch(llc_entry, fabric_.simulator().now());
+
+    switch (entry.state) {
+      case DirState::I:
+        // First reader gets Exclusive, first writer gets Modified.
+        entry.state = DirState::EM;
+        entry.owner = msg.src;
+        llc_entry->state = static_cast<std::uint8_t>(DirState::EM);
+        grant(msg.src, msg.line,
+              msg.type == MsgType::GetS ? GrantState::E : GrantState::M,
+              *llc_entry);
+        return;
+
+      case DirState::S: {
+        if (msg.type == MsgType::GetS) {
+            bool known = std::find(entry.sharers.begin(),
+                                   entry.sharers.end(), msg.src) !=
+                         entry.sharers.end();
+            if (known) {
+                grant(msg.src, msg.line, GrantState::S, *llc_entry);
+                return;
+            }
+            if (cfg.wireless() &&
+                entry.sharers.size() >= cfg.maxWiredSharers) {
+                // Table II, S->W: the new sharer would push the count
+                // past MaxWiredSharers.
+                startToWireless(msg, entry);
+                return;
+            }
+            if (entry.sharers.size() < cfg.dirPointers) {
+                entry.sharers.push_back(msg.src);
+            } else {
+                // Dir_3_B overflow (Baseline): give up precision.
+                entry.bcast = true;
+            }
+            grant(msg.src, msg.line, GrantState::S, *llc_entry);
+            return;
+        }
+
+        // GetX in S: either a WiDir transition or an invalidation
+        // collect.
+        bool sharer = std::find(entry.sharers.begin(),
+                                entry.sharers.end(), msg.src) !=
+                      entry.sharers.end();
+        if (cfg.wireless() && !sharer &&
+            entry.sharers.size() >= cfg.maxWiredSharers) {
+            startToWireless(msg, entry);
+            return;
+        }
+
+        std::vector<NodeId> targets;
+        if (entry.bcast) {
+            // Broadcast invalidation: every node but the requester.
+            ++stats_.bcastInvBursts;
+            for (NodeId n = 0; n < fabric_.numNodes(); ++n) {
+                if (n != msg.src)
+                    targets.push_back(n);
+            }
+        } else {
+            for (NodeId n : entry.sharers) {
+                if (n != msg.src)
+                    targets.push_back(n);
+            }
+        }
+        if (targets.empty()) {
+            // Requester is the sole sharer: immediate upgrade.
+            entry.state = DirState::EM;
+            entry.owner = msg.src;
+            entry.sharers.clear();
+            entry.bcast = false;
+            llc_entry->state = static_cast<std::uint8_t>(DirState::EM);
+            grant(msg.src, msg.line, GrantState::M, *llc_entry);
+            return;
+        }
+        DirTxn &txn = beginTxn(TxnType::InvColl, msg.line);
+        txn.requester = msg.src;
+        txn.reqType = msg.type;
+        txn.acksExpected = static_cast<std::uint32_t>(targets.size());
+        entry.sharers.clear();
+        entry.bcast = false;
+        stats_.invsSent += targets.size();
+        for (NodeId n : targets) {
+            Msg inv;
+            inv.type = MsgType::Inv;
+            inv.dst = n;
+            inv.line = lineAlign(msg.line);
+            send(inv, cfg.dirProcLatency);
+        }
+        return;
+      }
+
+      case DirState::EM: {
+        WIDIR_ASSERT(entry.owner != msg.src,
+                     "request from the current owner");
+        ++stats_.fwds;
+        DirTxn &txn = beginTxn(msg.type == MsgType::GetS
+                                   ? TxnType::FwdS
+                                   : TxnType::FwdX,
+                               msg.line);
+        txn.requester = msg.src;
+        txn.reqType = msg.type;
+        Msg fwd;
+        fwd.type = msg.type == MsgType::GetS ? MsgType::FwdGetS
+                                             : MsgType::FwdGetX;
+        fwd.dst = entry.owner;
+        fwd.line = lineAlign(msg.line);
+        fwd.requester = msg.src;
+        send(fwd, cfg.dirProcLatency);
+        return;
+      }
+
+      case DirState::W:
+        if (msg.type == MsgType::GetX && msg.isSharer) {
+            // Table II, W->W case 2: stale sharer upgrade; discard.
+            return;
+        }
+        // Table II, W->W case 1: wired join of the wireless group.
+        startWJoin(msg, entry);
+        return;
+    }
+}
+
+void
+DirectoryController::startFetch(const Msg &msg)
+{
+    DirTxn &txn = beginTxn(TxnType::Fetch, msg.line);
+    txn.requester = msg.src;
+    txn.reqType = msg.type;
+    txn.reqIsSharer = msg.isSharer;
+    ++stats_.memFetches;
+    Addr line = lineAlign(msg.line);
+    fabric_.memory().readLine(line,
+                              [this, line](const mem::LineData &data) {
+        DirTxn *txn = txnOf(line);
+        WIDIR_ASSERT(txn && txn->type == TxnType::Fetch,
+                     "memory fill without fetch txn");
+        NodeId requester = txn->requester;
+        MsgType req_type = txn->reqType;
+        endTxn(line);
+
+        CacheEntry *frame = makeRoom(line);
+        if (!frame) {
+            // The set filled up while we were fetching (recalls in
+            // flight). Bounce; the retry will find the set drained.
+            Msg fake;
+            fake.src = requester;
+            fake.line = line;
+            nack(fake);
+            return;
+        }
+        llc_.fill(frame, line, static_cast<std::uint8_t>(DirState::EM),
+                  data);
+        DirEntry &entry = entries_[line];
+        entry.state = DirState::EM;
+        entry.owner = requester;
+        grant(requester, line,
+              req_type == MsgType::GetS ? GrantState::E
+                                        : GrantState::M,
+              *frame);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Eviction notifications
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::handlePutS(const Msg &msg)
+{
+    Addr line = lineAlign(msg.line);
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    DirEntry &entry = it->second;
+
+    // Always drop the evicting node from the sharer pointers if it is
+    // recorded there -- even mid-transaction. Leaving stale pointers
+    // would inflate a later S->W census snapshot (and the protocol
+    // relies on the "always inform the directory" rule for exact
+    // counts, Section III-B).
+    auto sit = std::find(entry.sharers.begin(), entry.sharers.end(),
+                         msg.src);
+    bool was_recorded = sit != entry.sharers.end();
+    if (was_recorded)
+        entry.sharers.erase(sit);
+
+    if (entry.state == DirState::W) {
+        // The eviction predates the S->W transition: the node never
+        // joined the wireless group, but the census counted it. This
+        // must be accounted even while a W transaction (join,
+        // downgrade) is in flight, or the count leaks a phantom
+        // sharer and the eventual W->S downgrade waits forever.
+        handlePutW(msg);
+        return;
+    }
+
+    if (DirTxn *txn = txnOf(line)) {
+        if (txn->type == TxnType::ToWireless && was_recorded) {
+            // A counted sharer evicted while the census is in flight;
+            // it will not become a wireless sharer.
+            WIDIR_ASSERT(txn->censusSharers > 0, "census underflow");
+            --txn->censusSharers;
+        }
+        // InvColl/Recall acks are tracked via InvAck; nothing else to
+        // do here.
+        return;
+    }
+    if (entry.state == DirState::S) {
+        if (entry.sharers.empty() && !entry.bcast) {
+            entry.state = DirState::I;
+            if (CacheEntry *e = llc_.lookup(line))
+                e->state = static_cast<std::uint8_t>(DirState::I);
+        }
+        return;
+    }
+    // Stale notification (EM etc.); ignore.
+}
+
+void
+DirectoryController::handlePutEM(const Msg &msg)
+{
+    Addr line = lineAlign(msg.line);
+    if (DirTxn *txn = txnOf(line)) {
+        // A PutE/PutM that races a Fwd* or an EM recall completes the
+        // transaction in the owner's stead (the forward will find no
+        // copy and be dropped).
+        bool owner_txn = txn->type == TxnType::FwdS ||
+                         txn->type == TxnType::FwdX ||
+                         txn->type == TxnType::RecallEM;
+        if (owner_txn) {
+            completeOwnerTxn(msg, msg.type == MsgType::PutM);
+        }
+        return;
+    }
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        return;
+    DirEntry &entry = it->second;
+    if (entry.state != DirState::EM || entry.owner != msg.src)
+        return; // stale
+    CacheEntry *e = llc_.lookup(line);
+    WIDIR_ASSERT(e, "directory entry without LLC entry");
+    if (msg.type == MsgType::PutM) {
+        WIDIR_ASSERT(msg.hasData, "PutM without data");
+        e->data = msg.data;
+        e->dirty = true;
+    }
+    entry.state = DirState::I;
+    entry.owner = sim::kNodeNone;
+    e->state = static_cast<std::uint8_t>(DirState::I);
+}
+
+void
+DirectoryController::handlePutW(const Msg &msg)
+{
+    Addr line = lineAlign(msg.line);
+    if (DirTxn *txn = txnOf(line)) {
+        switch (txn->type) {
+          case TxnType::ToWireless:
+            if (msg.src == txn->requester) {
+                // The transition's own requester already evicted its
+                // fresh W copy; do not count it at completion.
+                txn->reqIsSharer = false; // reused as "requester alive"
+                txn->censusRequesterLeft = true;
+                return;
+            }
+            WIDIR_ASSERT(txn->censusSharers > 0, "census underflow");
+            --txn->censusSharers;
+            return;
+          case TxnType::ToShared:
+            // A sharer self-invalidated after the count trigger but
+            // before (or while) WirDwgr landed: expect one less ack.
+            WIDIR_ASSERT(txn->acksExpected > 0, "ack underflow");
+            --txn->acksExpected;
+            if (txn->acksReceived >= txn->acksExpected)
+                finishToShared(line);
+            return;
+          case TxnType::WJoin: {
+            auto it = entries_.find(line);
+            WIDIR_ASSERT(it != entries_.end(), "WJoin without entry");
+            WIDIR_ASSERT(it->second.sharerCount > 0,
+                         "SharerCount underflow");
+            --it->second.sharerCount;
+            // The downgrade check runs when the join completes.
+            return;
+          }
+          default:
+            return; // e.g. RecallW racing a self-invalidation
+        }
+    }
+    auto it = entries_.find(line);
+    if (it == entries_.end() || it->second.state != DirState::W)
+        return; // stale (e.g. after WirInv)
+    DirEntry &entry = it->second;
+    WIDIR_ASSERT(entry.sharerCount > 0, "SharerCount underflow");
+    --entry.sharerCount;
+    // Table II, W->S: when the count falls back to MaxWiredSharers,
+    // return the line to the wired protocol.
+    maybeStartToShared(line);
+}
+
+// ---------------------------------------------------------------------
+// Acks and data returns
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::completeOwnerTxn(const Msg &msg, bool has_data)
+{
+    Addr line = lineAlign(msg.line);
+    DirTxn *txn = txnOf(line);
+    WIDIR_ASSERT(txn, "owner completion without txn");
+    CacheEntry *e = llc_.lookup(line);
+    WIDIR_ASSERT(e, "owner txn without LLC entry");
+    auto it = entries_.find(line);
+    WIDIR_ASSERT(it != entries_.end(), "owner txn without dir entry");
+    DirEntry &entry = it->second;
+
+    if (has_data) {
+        WIDIR_ASSERT(msg.hasData, "owner data missing payload");
+        e->data = msg.data;
+        if (msg.dirtyData || msg.type == MsgType::PutM)
+            e->dirty = true;
+    }
+
+    switch (txn->type) {
+      case TxnType::FwdS: {
+        NodeId requester = txn->requester;
+        entry.state = DirState::S;
+        entry.sharers.clear();
+        // The old owner keeps an S copy unless it evicted (PutE/PutM
+        // raced the forward).
+        if (msg.type == MsgType::OwnerData)
+            entry.sharers.push_back(entry.owner);
+        entry.sharers.push_back(requester);
+        entry.owner = sim::kNodeNone;
+        e->state = static_cast<std::uint8_t>(DirState::S);
+        endTxn(line);
+        grant(requester, line, GrantState::S, *e);
+        return;
+      }
+      case TxnType::FwdX: {
+        NodeId requester = txn->requester;
+        entry.state = DirState::EM;
+        entry.owner = requester;
+        e->state = static_cast<std::uint8_t>(DirState::EM);
+        endTxn(line);
+        grant(requester, line, GrantState::M, *e);
+        return;
+      }
+      case TxnType::RecallEM:
+        finishRecall(line, false, nullptr, false);
+        return;
+      default:
+        sim::panic("owner completion on txn type %d",
+                   static_cast<int>(txn->type));
+    }
+}
+
+void
+DirectoryController::handleOwnerData(const Msg &msg)
+{
+    DirTxn *txn = txnOf(msg.line);
+    if (!txn)
+        return; // txn already completed by a racing PutE/PutM
+    completeOwnerTxn(msg, true);
+}
+
+void
+DirectoryController::handleInvAck(const Msg &msg)
+{
+    Addr line = lineAlign(msg.line);
+    DirTxn *txn = txnOf(line);
+    if (!txn)
+        return; // stale ack (txn completed via a racing path)
+    if (txn->type != TxnType::InvColl && txn->type != TxnType::RecallS &&
+        txn->type != TxnType::RecallEM) {
+        return;
+    }
+    if (txn->type == TxnType::RecallEM) {
+        // Owner recall: the ack itself may carry the dirty line; a
+        // clean (E) owner acks without data.
+        finishRecall(line, msg.hasData, msg.hasData ? &msg.data : nullptr,
+                     msg.dirtyData);
+        return;
+    }
+    if (msg.hasData) {
+        CacheEntry *e = llc_.lookup(line);
+        WIDIR_ASSERT(e, "InvAck data without LLC entry");
+        e->data = msg.data;
+        e->dirty = e->dirty || msg.dirtyData;
+    }
+    ++txn->acksReceived;
+    if (txn->acksReceived < txn->acksExpected)
+        return;
+
+    if (txn->type == TxnType::InvColl) {
+        NodeId requester = txn->requester;
+        auto it = entries_.find(line);
+        WIDIR_ASSERT(it != entries_.end(), "InvColl without entry");
+        CacheEntry *e = llc_.lookup(line);
+        WIDIR_ASSERT(e, "InvColl without LLC entry");
+        it->second.state = DirState::EM;
+        it->second.owner = requester;
+        it->second.sharers.clear();
+        it->second.bcast = false;
+        e->state = static_cast<std::uint8_t>(DirState::EM);
+        endTxn(line);
+        grant(requester, line, GrantState::M, *e);
+        return;
+    }
+    // RecallS complete.
+    finishRecall(line, false, nullptr, false);
+}
+
+void
+DirectoryController::handleWirUpgrAck(const Msg &msg)
+{
+    Addr line = lineAlign(msg.line);
+    DirTxn *txn = txnOf(line);
+    WIDIR_ASSERT(txn && txn->type == TxnType::WJoin,
+                 "WirUpgrAck without a WJoin txn");
+    auto it = entries_.find(line);
+    WIDIR_ASSERT(it != entries_.end() &&
+                     it->second.state == DirState::W,
+                 "WJoin on a non-W entry");
+    ++it->second.sharerCount;
+    if (++txn->acksReceived < txn->acksExpected)
+        return; // more joiners in flight under this transaction
+    endTxn(line);
+    // PutWs that drained during the join may have left the count at or
+    // below the threshold.
+    maybeStartToShared(line);
+}
+
+void
+DirectoryController::handleWirDwgrAck(const Msg &msg)
+{
+    Addr line = lineAlign(msg.line);
+    DirTxn *txn = txnOf(line);
+    if (!txn || txn->type != TxnType::ToShared)
+        return; // stale
+    txn->ackIds.push_back(msg.src);
+    ++txn->acksReceived;
+    if (txn->acksReceived >= txn->acksExpected)
+        finishToShared(line);
+}
+
+// ---------------------------------------------------------------------
+// WiDir transitions (Table II)
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::startToWireless(const Msg &msg, DirEntry &entry)
+{
+    ++stats_.toWireless;
+    auto *data_channel = fabric_.dataChannel();
+    auto *tone = fabric_.toneChannel();
+    WIDIR_ASSERT(data_channel && tone,
+                 "S->W transition without wireless hardware");
+
+    DirTxn &txn = beginTxn(TxnType::ToWireless, msg.line);
+    txn.requester = msg.src;
+    txn.reqType = msg.type;
+    txn.censusSharers =
+        static_cast<std::uint32_t>(entry.sharers.size());
+
+    Addr line = lineAlign(msg.line);
+    // Broadcast BrWirUpgr on the data channel. At the commit point:
+    // start jamming the line, send WirUpgr + line to the requester
+    // over the wired network (Table II, S->W row), and begin the
+    // global ToneAck census -- it covers every node, and the wired-OR
+    // tone falls silent once all of them (and any overlapping
+    // censuses' nodes) resolved (Section III-B1).
+    wireless::Frame frame;
+    frame.src = node_;
+    frame.kind = wireless::FrameKind::BrWirUpgr;
+    frame.lineAddr = line;
+    fabric_.dataChannel()->transmit(frame, [this, line] {
+        DirTxn *txn = txnOf(line);
+        WIDIR_ASSERT(txn && txn->type == TxnType::ToWireless,
+                     "BrWirUpgr commit without ToWireless txn");
+        txn->jamId = fabric_.dataChannel()->startJamming(node_, line);
+        txn->jamming = true;
+
+        CacheEntry *e = llc_.lookup(line);
+        WIDIR_ASSERT(e, "S->W without LLC entry");
+        Msg upg;
+        upg.type = MsgType::WirUpgr;
+        upg.dst = txn->requester;
+        upg.line = line;
+        upg.needsAck = false; // census covers the requester
+        upg.hasData = true;
+        upg.data = e->data;
+        send(upg);
+
+        fabric_.toneChannel()->beginCensus(
+            fabric_.numNodes(),
+            [this, line] { finishToWireless(line); });
+    });
+}
+
+void
+DirectoryController::finishToWireless(Addr line)
+{
+    DirTxn *txn = txnOf(line);
+    WIDIR_ASSERT(txn && txn->type == TxnType::ToWireless,
+                 "finishing unknown S->W transition");
+    auto it = entries_.find(line);
+    WIDIR_ASSERT(it != entries_.end(), "S->W without dir entry");
+    DirEntry &entry = it->second;
+    entry.state = DirState::W;
+    // Census = surviving pre-transition sharers + the requester
+    // (unless the requester already evicted again).
+    entry.sharerCount =
+        txn->censusSharers + (txn->censusRequesterLeft ? 0 : 1);
+    entry.sharers.clear();
+    entry.bcast = false;
+    entry.owner = sim::kNodeNone;
+    if (CacheEntry *e = llc_.lookup(line))
+        e->state = static_cast<std::uint8_t>(DirState::W);
+    endTxn(line); // also stops jamming
+    // Self-invalidations during the census may already have drained
+    // the group.
+    maybeStartToShared(line);
+}
+
+void
+DirectoryController::admitJoiner(DirTxn &txn, sim::NodeId requester)
+{
+    // Table II, W->W case 1: jam updates to the line so the copy we
+    // ship stays coherent, send WirUpgr + line over the wired network,
+    // and bump SharerCount when the ack returns.
+    //
+    // The line is read out of the LLC *after* the data-array latency:
+    // jamming stops new wireless updates immediately, but a WirUpd
+    // that had already committed when the join arrived is still in
+    // flight and lands in the LLC a few cycles later -- reading early
+    // would ship the joiner a stale copy.
+    ++stats_.wJoins;
+    ++txn.acksExpected;
+    Addr line = txn.line;
+    fabric_.simulator().schedule(
+        fabric_.config().llcDataLatency, [this, line, requester] {
+            CacheEntry *e = llc_.lookup(line);
+            WIDIR_ASSERT(e, "W join without LLC entry");
+            Msg upg;
+            upg.type = MsgType::WirUpgr;
+            upg.dst = requester;
+            upg.line = line;
+            upg.needsAck = true;
+            upg.hasData = true;
+            upg.data = e->data;
+            send(upg);
+        });
+}
+
+void
+DirectoryController::startWJoin(const Msg &msg, DirEntry &entry)
+{
+    (void)entry;
+    DirTxn &txn = beginTxn(TxnType::WJoin, msg.line);
+    txn.requester = msg.src;
+    txn.reqType = msg.type;
+    txn.jamId = fabric_.dataChannel()->startJamming(node_,
+                                                    lineAlign(msg.line));
+    txn.jamming = true;
+    admitJoiner(txn, msg.src);
+}
+
+void
+DirectoryController::maybeStartToShared(Addr line)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end() || it->second.state != DirState::W)
+        return;
+    if (txnOf(line))
+        return;
+    if (it->second.sharerCount > fabric_.config().maxWiredSharers)
+        return;
+    startToShared(line);
+}
+
+void
+DirectoryController::startToShared(Addr line)
+{
+    ++stats_.toShared;
+    auto it = entries_.find(line);
+    WIDIR_ASSERT(it != entries_.end() &&
+                     it->second.state == DirState::W,
+                 "W->S on a non-W line");
+    DirTxn &txn = beginTxn(TxnType::ToShared, line);
+    txn.acksExpected = it->second.sharerCount;
+    wireless::Frame frame;
+    frame.src = node_;
+    frame.kind = wireless::FrameKind::WirDwgr;
+    frame.lineAddr = line;
+    fabric_.dataChannel()->transmit(frame, nullptr);
+    if (txn.acksExpected == 0) {
+        // Every sharer already self-invalidated; nothing will ack.
+        finishToShared(line);
+    }
+}
+
+void
+DirectoryController::finishToShared(Addr line)
+{
+    DirTxn *txn = txnOf(line);
+    WIDIR_ASSERT(txn && txn->type == TxnType::ToShared,
+                 "finishing unknown W->S transition");
+    auto it = entries_.find(line);
+    WIDIR_ASSERT(it != entries_.end(), "W->S without dir entry");
+    DirEntry &entry = it->second;
+    entry.sharers = txn->ackIds;
+    entry.sharerCount = 0;
+    entry.owner = sim::kNodeNone;
+    entry.bcast = false;
+    CacheEntry *e = llc_.lookup(line);
+    WIDIR_ASSERT(e, "W->S without LLC entry");
+    if (entry.sharers.empty()) {
+        entry.state = DirState::I;
+        e->state = static_cast<std::uint8_t>(DirState::I);
+    } else {
+        entry.state = DirState::S;
+        e->state = static_cast<std::uint8_t>(DirState::S);
+    }
+    // Table II, W->S row: a dirty LLC copy is written to memory.
+    writebackIfDirty(e);
+    endTxn(line);
+}
+
+// ---------------------------------------------------------------------
+// Wireless frames observed at the home slice
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::receiveFrame(const wireless::Frame &frame)
+{
+    if (fabric_.homeOf(frame.lineAddr) != node_)
+        return;
+    Addr line = lineAlign(frame.lineAddr);
+    switch (frame.kind) {
+      case wireless::FrameKind::WirUpd: {
+        auto it = entries_.find(line);
+        if (it == entries_.end() || it->second.state != DirState::W)
+            return;
+        CacheEntry *e = llc_.lookup(line);
+        WIDIR_ASSERT(e, "W entry without LLC line");
+        // Keep the LLC copy current so wired joins ship fresh data.
+        // (The paper's Table II says SharerCount++ here; we treat that
+        // as an erratum -- see DESIGN.md -- and leave the count to the
+        // exact WirUpgrAck/PutW flows.)
+        e->data.setWord(frame.wordAddr, frame.value);
+        e->dirty = true;
+        ++stats_.updatesObserved;
+        // Fig. 5: how many other caches this write updated.
+        WIDIR_ASSERT(it->second.sharerCount > 0,
+                     "update on an empty wireless group");
+        sharersUpdated_.sample(it->second.sharerCount - 1);
+        return;
+      }
+      case wireless::FrameKind::WirInv: {
+        // Our own W->I eviction completed its broadcast.
+        DirTxn *txn = txnOf(line);
+        if (txn && txn->type == TxnType::RecallW)
+            finishRecall(line, false, nullptr, false);
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// LLC management
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::writebackIfDirty(CacheEntry *e)
+{
+    if (!e->dirty)
+        return;
+    ++stats_.memWritebacks;
+    fabric_.memory().writeLine(e->line, e->data);
+    e->dirty = false;
+}
+
+mem::CacheEntry *
+DirectoryController::makeRoom(Addr line)
+{
+    if (CacheEntry *hit = llc_.lookup(line))
+        return hit;
+    CacheEntry *victim = llc_.pickVictim(line);
+    if (!victim)
+        return nullptr; // set fully locked by in-flight transactions
+    if (!victim->valid)
+        return victim;
+    auto it = entries_.find(victim->line);
+    WIDIR_ASSERT(it != entries_.end(),
+                 "valid LLC entry without directory entry");
+    if (it->second.state == DirState::I) {
+        // No cached copies: silent replacement (write back if dirty).
+        writebackIfDirty(victim);
+        entries_.erase(it);
+        llc_.invalidate(victim);
+        return victim;
+    }
+    // Cached copies exist: recall them first; the requester bounces.
+    startRecall(victim);
+    return nullptr;
+}
+
+void
+DirectoryController::startRecall(CacheEntry *victim)
+{
+    ++stats_.llcRecalls;
+    Addr line = victim->line;
+    auto it = entries_.find(line);
+    WIDIR_ASSERT(it != entries_.end(), "recall without dir entry");
+    DirEntry &entry = it->second;
+    const auto &cfg = fabric_.config();
+
+    switch (entry.state) {
+      case DirState::EM: {
+        DirTxn &txn = beginTxn(TxnType::RecallEM, line);
+        txn.acksExpected = 1;
+        Msg inv;
+        inv.type = MsgType::Inv;
+        inv.dst = entry.owner;
+        inv.line = line;
+        inv.needData = true;
+        send(inv, cfg.dirProcLatency);
+        return;
+      }
+      case DirState::S: {
+        DirTxn &txn = beginTxn(TxnType::RecallS, line);
+        std::vector<NodeId> targets;
+        if (entry.bcast) {
+            for (NodeId n = 0; n < fabric_.numNodes(); ++n)
+                targets.push_back(n);
+        } else {
+            targets = entry.sharers;
+        }
+        txn.acksExpected = static_cast<std::uint32_t>(targets.size());
+        stats_.invsSent += targets.size();
+        for (NodeId n : targets) {
+            Msg inv;
+            inv.type = MsgType::Inv;
+            inv.dst = n;
+            inv.line = line;
+            send(inv, cfg.dirProcLatency);
+        }
+        if (txn.acksExpected == 0)
+            finishRecall(line, false, nullptr, false);
+        return;
+      }
+      case DirState::W: {
+        // Table II, W->I: broadcast WirInv; no acknowledgments are
+        // needed (reliable wireless broadcast); completion is the
+        // frame's own delivery, observed in receiveFrame.
+        ++stats_.wirInvs;
+        beginTxn(TxnType::RecallW, line);
+        wireless::Frame frame;
+        frame.src = node_;
+        frame.kind = wireless::FrameKind::WirInv;
+        frame.lineAddr = line;
+        fabric_.dataChannel()->transmit(frame, nullptr);
+        return;
+      }
+      case DirState::I:
+        sim::panic("recall of an idle line");
+    }
+}
+
+void
+DirectoryController::finishRecall(Addr line, bool merge_data,
+                                  const mem::LineData *data,
+                                  bool data_dirty)
+{
+    CacheEntry *e = llc_.lookup(line);
+    WIDIR_ASSERT(e, "recall without LLC entry");
+    if (merge_data) {
+        e->data = *data;
+        e->dirty = e->dirty || data_dirty;
+    }
+    writebackIfDirty(e);
+    entries_.erase(line);
+    endTxn(line);
+    llc_.invalidate(e);
+}
+
+} // namespace widir::coherence

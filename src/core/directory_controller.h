@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Directory + LLC-slice controller for one tile.
+ *
+ * Implements the directory side of the protocol:
+ *  - the wired MESI directory with Dir_3_B sharer tracking (3 pointers
+ *    plus a broadcast bit) used by the Baseline configuration,
+ *  - the WiDir Wireless (W) state and every directory transition of
+ *    Table II: S->W with ToneAck census + selective jamming, W->W
+ *    joins, W->S downgrades, and W->I wireless invalidations,
+ *  - the inclusive LLC slice (with recall of cached copies on LLC
+ *    eviction) backed by main memory.
+ *
+ * The directory is *blocking per line*: while a transaction for a line
+ * is in flight, new wired requests to that line are bounced (Nack) and
+ * the requester retries -- the wired analog of the paper's jamming
+ * primitive, as Section III-C1 notes.
+ */
+
+#ifndef WIDIR_CORE_DIRECTORY_CONTROLLER_H
+#define WIDIR_CORE_DIRECTORY_CONTROLLER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fabric.h"
+#include "core/messages.h"
+#include "mem/cache_array.h"
+#include "sim/stats.h"
+#include "wireless/frame.h"
+
+namespace widir::coherence {
+
+/** Directory states for a line resident in this LLC slice. */
+enum class DirState : std::uint8_t
+{
+    I = 0, ///< in LLC, no cached copies
+    S,     ///< shared by the pointer set (or broadcast bit)
+    EM,    ///< exclusive/modified at `owner`
+    W,     ///< WiDir Wireless Shared: only SharerCount is known
+};
+
+const char *dirStateName(DirState s);
+
+/** Directory metadata for one resident line (Fig. 3 of the paper). */
+struct DirEntry
+{
+    DirState state = DirState::I;
+    std::vector<sim::NodeId> sharers; ///< up to dirPointers entries
+    bool bcast = false;               ///< Dir_3_B overflow (Baseline)
+    sim::NodeId owner = sim::kNodeNone;
+    std::uint32_t sharerCount = 0;    ///< W state census (Fig. 3)
+};
+
+/** Directory slice + LLC bank controller. */
+class DirectoryController
+{
+  public:
+    struct LlcConfig
+    {
+        std::uint64_t sizeBytes = 512 * 1024; ///< per-tile bank
+        std::uint32_t assoc = 8;
+    };
+
+    DirectoryController(CoherenceFabric &fabric, sim::NodeId node,
+                        const LlcConfig &llc_cfg);
+
+    sim::NodeId nodeId() const { return node_; }
+
+    /** Wired message arrival (called by the fabric). */
+    void receive(const Msg &msg);
+
+    /** Wireless frame arrival (registered by the system layer). */
+    void receiveFrame(const wireless::Frame &frame);
+
+    /// @name Introspection for tests/checkers
+    /// @{
+    const DirEntry *entryOf(sim::Addr line) const;
+    DirState stateOf(sim::Addr line) const;
+    bool busy(sim::Addr line) const;
+    mem::CacheArray &llc() { return llc_; }
+    /// @}
+
+    /// @name Statistics
+    /// @{
+    struct Stats
+    {
+        std::uint64_t getS = 0;
+        std::uint64_t getX = 0;
+        std::uint64_t nacksSent = 0;
+        std::uint64_t invsSent = 0;
+        std::uint64_t bcastInvBursts = 0; ///< broadcast-bit inv storms
+        std::uint64_t fwds = 0;
+        std::uint64_t memFetches = 0;
+        std::uint64_t memWritebacks = 0;
+        std::uint64_t llcRecalls = 0;
+        std::uint64_t toWireless = 0;   ///< S->W transitions
+        std::uint64_t toShared = 0;     ///< W->S transitions
+        std::uint64_t wJoins = 0;       ///< W->W wired joins
+        std::uint64_t wirInvs = 0;      ///< W->I evictions
+        std::uint64_t updatesObserved = 0; ///< WirUpd applied to LLC
+        std::uint64_t dirAccesses = 0;
+    };
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Fig. 5: number of OTHER sharers updated by each wireless write
+     * homed at this slice (bins: <=5, 6-10, 11-25, 26-49, 50+).
+     */
+    const sim::BinnedHistogram &
+    sharersUpdatedHistogram() const
+    {
+        return sharersUpdated_;
+    }
+    /// @}
+
+  private:
+    /** Multi-message directory transaction kinds. */
+    enum class TxnType : std::uint8_t
+    {
+        Fetch,      ///< LLC miss: memory read in flight
+        FwdS,       ///< GetS forwarded to owner
+        FwdX,       ///< GetX forwarded to owner
+        InvColl,    ///< collecting InvAcks for a GetX in S
+        RecallEM,   ///< LLC eviction: retrieving the owner's copy
+        RecallS,    ///< LLC eviction: invalidating sharers
+        RecallW,    ///< LLC eviction of a W line (WirInv in flight)
+        ToWireless, ///< S->W: BrWirUpgr census in flight (Table II)
+        WJoin,      ///< W->W: WirUpgr sent, awaiting WirUpgrAck
+        ToShared,   ///< W->S: WirDwgr sent, awaiting WirDwgrAcks
+    };
+
+    struct DirTxn
+    {
+        TxnType type;
+        sim::Addr line;
+        sim::NodeId requester = sim::kNodeNone;
+        MsgType reqType = MsgType::GetS;
+        bool reqIsSharer = false;
+        std::uint32_t acksExpected = 0;
+        std::uint32_t acksReceived = 0;
+        std::vector<sim::NodeId> ackIds;  ///< ToShared survivor ids
+        std::uint32_t censusSharers = 0;  ///< ToWireless snapshot
+        bool censusRequesterLeft = false; ///< requester evicted mid-census
+        wireless::JamId jamId = 0;
+        bool jamming = false;
+    };
+
+    // -- request path ---------------------------------------------------
+    void handleRequest(const Msg &msg);
+    void handleCachedRequest(const Msg &msg, mem::CacheEntry *llc_entry,
+                             DirEntry &entry);
+    void startFetch(const Msg &msg);
+    void grant(sim::NodeId dst, sim::Addr line, GrantState state,
+               const mem::CacheEntry &llc_entry);
+
+    // -- eviction notifications ------------------------------------------
+    void handlePutS(const Msg &msg);
+    void handlePutEM(const Msg &msg);
+    void handlePutW(const Msg &msg);
+
+    // -- acks / data returns ----------------------------------------------
+    void handleInvAck(const Msg &msg);
+    void handleOwnerData(const Msg &msg);
+    void handleWirUpgrAck(const Msg &msg);
+    void handleWirDwgrAck(const Msg &msg);
+
+    // -- WiDir transitions (Table II) --------------------------------------
+    void startToWireless(const Msg &msg, DirEntry &entry);
+    void finishToWireless(sim::Addr line);
+    void startWJoin(const Msg &msg, DirEntry &entry);
+    void admitJoiner(DirTxn &txn, sim::NodeId requester);
+    void maybeStartToShared(sim::Addr line);
+    void startToShared(sim::Addr line);
+    void finishToShared(sim::Addr line);
+
+    // -- LLC management -----------------------------------------------------
+    /**
+     * Find or create room for @p line in the LLC. Returns nullptr if
+     * the set is blocked (recall started or all frames locked), in
+     * which case the requester must be bounced.
+     */
+    mem::CacheEntry *makeRoom(sim::Addr line);
+    void startRecall(mem::CacheEntry *victim);
+    void finishRecall(sim::Addr line, bool merge_data,
+                      const mem::LineData *data, bool data_dirty);
+    void writebackIfDirty(mem::CacheEntry *e);
+
+    // -- plumbing -------------------------------------------------------------
+    DirTxn *txnOf(sim::Addr line);
+    DirTxn &beginTxn(TxnType type, sim::Addr line);
+    void endTxn(sim::Addr line);
+    void nack(const Msg &msg);
+    void send(Msg msg, sim::Tick extra_delay = 0);
+    void completeOwnerTxn(const Msg &msg, bool has_data);
+
+    CoherenceFabric &fabric_;
+    sim::NodeId node_;
+    mem::CacheArray llc_;
+    std::unordered_map<sim::Addr, DirEntry> entries_;
+    std::unordered_map<sim::Addr, DirTxn> txns_;
+    Stats stats_;
+    sim::BinnedHistogram sharersUpdated_{{5, 10, 25, 49}, true};
+};
+
+} // namespace widir::coherence
+
+#endif // WIDIR_CORE_DIRECTORY_CONTROLLER_H

@@ -1,0 +1,69 @@
+#include "core/fabric.h"
+
+#include <cstdio>
+
+#include "core/directory_controller.h"
+#include "core/l1_controller.h"
+#include "sim/log.h"
+
+namespace widir::coherence {
+
+namespace {
+
+/** True for opcodes consumed by a directory controller. */
+bool
+toDirectory(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::PutS:
+      case MsgType::PutE:
+      case MsgType::PutM:
+      case MsgType::PutW:
+      case MsgType::InvAck:
+      case MsgType::OwnerData:
+      case MsgType::WirUpgrAck:
+      case MsgType::WirDwgrAck:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+CoherenceFabric::sendWired(const Msg &msg, sim::Tick delay)
+{
+    WIDIR_ASSERT(msg.src != sim::kNodeNone && msg.dst != sim::kNodeNone,
+                 "wired message without endpoints");
+    if (trace_) {
+        std::fprintf(stderr, "%10llu  %2u -> %2u  %-10s line=%#llx%s\n",
+                     static_cast<unsigned long long>(sim_.now()),
+                     msg.src, msg.dst, msgTypeName(msg.type),
+                     static_cast<unsigned long long>(msg.line),
+                     msg.isSharer ? " (sharer)" : "");
+    }
+    // Clamp the enqueue time so same-pair messages keep their send
+    // order even when sender-side delays differ.
+    std::uint64_t pair =
+        static_cast<std::uint64_t>(msg.src) * numNodes() + msg.dst;
+    sim::Tick enqueue_at = sim_.now() + delay;
+    auto [it, inserted] = lastEnqueue_.try_emplace(pair, enqueue_at);
+    if (!inserted)
+        enqueue_at = it->second = std::max(it->second, enqueue_at);
+
+    sim_.scheduleAt(enqueue_at, [this, msg] {
+        bool to_dir = toDirectory(msg.type);
+        mesh_.send(msg.src, msg.dst, bitsFor(msg.type),
+                   [this, msg, to_dir] {
+            if (to_dir)
+                dir(msg.dst).receive(msg);
+            else
+                l1(msg.dst).receive(msg);
+        });
+    });
+}
+
+} // namespace widir::coherence

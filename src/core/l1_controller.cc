@@ -1,0 +1,914 @@
+#include "core/l1_controller.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "mem/address.h"
+#include "sim/log.h"
+
+namespace widir::coherence {
+
+using mem::CacheEntry;
+using mem::lineAlign;
+using sim::Addr;
+using sim::Tick;
+
+const char *
+l1StateName(L1State s)
+{
+    switch (s) {
+      case L1State::I: return "I";
+      case L1State::S: return "S";
+      case L1State::E: return "E";
+      case L1State::M: return "M";
+      case L1State::W: return "W";
+    }
+    return "?";
+}
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:       return "GetS";
+      case MsgType::GetX:       return "GetX";
+      case MsgType::PutS:       return "PutS";
+      case MsgType::PutE:       return "PutE";
+      case MsgType::PutM:       return "PutM";
+      case MsgType::PutW:       return "PutW";
+      case MsgType::Data:       return "Data";
+      case MsgType::Nack:       return "Nack";
+      case MsgType::Inv:        return "Inv";
+      case MsgType::FwdGetS:    return "FwdGetS";
+      case MsgType::FwdGetX:    return "FwdGetX";
+      case MsgType::WirUpgr:    return "WirUpgr";
+      case MsgType::InvAck:     return "InvAck";
+      case MsgType::OwnerData:  return "OwnerData";
+      case MsgType::WirUpgrAck: return "WirUpgrAck";
+      case MsgType::WirDwgrAck: return "WirDwgrAck";
+    }
+    return "?";
+}
+
+L1Controller::L1Controller(CoherenceFabric &fabric, sim::NodeId node,
+                           const CacheConfig &cache_cfg)
+    : fabric_(fabric), node_(node),
+      array_(cache_cfg.sizeBytes, cache_cfg.assoc),
+      rng_(fabric.simulator().makeRng(0x11C0DE0000ULL + node))
+{
+}
+
+void
+L1Controller::send(Msg msg)
+{
+    msg.src = node_;
+    fabric_.sendWired(msg);
+}
+
+void
+L1Controller::complete(std::uint64_t token, std::uint64_t value)
+{
+    WIDIR_ASSERT(static_cast<bool>(complete_),
+                 "L1 %u has no completion callback", node_);
+    complete_(token, value);
+}
+
+L1State
+L1Controller::stateOf(Addr addr) const
+{
+    const CacheEntry *e = array_.lookup(addr);
+    return e ? static_cast<L1State>(e->state) : L1State::I;
+}
+
+bool
+L1Controller::peekWord(Addr addr, std::uint64_t &value) const
+{
+    const CacheEntry *e = array_.lookup(addr);
+    if (!e)
+        return false;
+    value = e->data.word(addr);
+    return true;
+}
+
+bool
+L1Controller::hasPendingTxn(Addr addr) const
+{
+    return txns_.count(lineAlign(addr)) > 0 ||
+           wirelessTxns_.count(lineAlign(addr)) > 0;
+}
+
+// ---------------------------------------------------------------------
+// CPU-facing operations
+// ---------------------------------------------------------------------
+
+void
+L1Controller::read(Addr addr, std::uint64_t token)
+{
+    WIDIR_ASSERT(mem::wordAligned(addr), "unaligned load");
+    ++stats_.loads;
+    CacheEntry *e = array_.lookup(addr);
+    if (e && static_cast<L1State>(e->state) != L1State::I) {
+        // Hit in S/E/M/W: serve after the L1 round trip. A local access
+        // to a W line resets UpdateCount (Table I, W->W on read).
+        ++stats_.loadHits;
+        e->updateCount = 0;
+        array_.touch(e, fabric_.simulator().now());
+        std::uint64_t value = e->data.word(addr);
+        fabric_.simulator().schedule(
+            fabric_.config().l1HitLatency,
+            [this, token, value] { complete(token, value); });
+        return;
+    }
+    PendingOp op;
+    op.kind = TxnKind::Read;
+    op.token = token;
+    op.addr = addr;
+    startMiss(op, lineAlign(addr), false);
+}
+
+void
+L1Controller::write(Addr addr, std::uint64_t value, std::uint64_t token)
+{
+    WIDIR_ASSERT(mem::wordAligned(addr), "unaligned store");
+    ++stats_.stores;
+    CacheEntry *e = array_.lookup(addr);
+    L1State st = e ? static_cast<L1State>(e->state) : L1State::I;
+
+    PendingOp op;
+    op.kind = TxnKind::Write;
+    op.token = token;
+    op.addr = addr;
+    op.storeValue = value;
+
+    // Per-location store ordering: any outstanding transaction for the
+    // line (wired or wireless) is the single ordering point -- later
+    // same-line stores queue behind it no matter what the cache state
+    // currently says. Otherwise a store could race ahead of older
+    // stores parked in an in-flight upgrade or a backed-off wireless
+    // transmission.
+    Addr line = lineAlign(addr);
+    if (auto tit = txns_.find(line); tit != txns_.end()) {
+        tit->second.ops.push_back(op);
+        return;
+    }
+    if (auto wit = wirelessTxns_.find(line); wit != wirelessTxns_.end()) {
+        ++stats_.storeHits;
+        wit->second.deferred.push_back(op);
+        return;
+    }
+
+    switch (st) {
+      case L1State::M:
+      case L1State::E:
+        // Silent E->M upgrade plus local write.
+        ++stats_.storeHits;
+        e->state = static_cast<std::uint8_t>(L1State::M);
+        e->dirty = true;
+        e->data.setWord(addr, value);
+        array_.touch(e, fabric_.simulator().now());
+        fabric_.simulator().schedule(
+            fabric_.config().l1HitLatency,
+            [this, token, value] { complete(token, value); });
+        return;
+      case L1State::W:
+        // Table I, W->W on write: broadcast the word via the WNoC; the
+        // local copy merges only once transmission is guaranteed.
+        ++stats_.storeHits;
+        issueWirelessWrite(op);
+        return;
+      case L1State::S:
+        // Upgrade: GetX indicating we already share the line.
+        startMiss(op, lineAlign(addr), true);
+        return;
+      case L1State::I:
+        startMiss(op, lineAlign(addr), false);
+        return;
+    }
+}
+
+void
+L1Controller::rmw(Addr addr,
+                  std::function<std::uint64_t(std::uint64_t)> modify,
+                  std::uint64_t token)
+{
+    WIDIR_ASSERT(mem::wordAligned(addr), "unaligned RMW");
+    ++stats_.rmws;
+    CacheEntry *e = array_.lookup(addr);
+    L1State st = e ? static_cast<L1State>(e->state) : L1State::I;
+
+    PendingOp op;
+    op.kind = TxnKind::Rmw;
+    op.token = token;
+    op.addr = addr;
+    op.modify = std::move(modify);
+
+    // Same ordering-point rule as write(). (The core drains its write
+    // buffer before issuing an RMW, so in practice nothing same-line
+    // is outstanding here; this is belt-and-braces for direct users of
+    // the L1 API.)
+    Addr line = lineAlign(addr);
+    if (auto tit = txns_.find(line); tit != txns_.end()) {
+        tit->second.ops.push_back(op);
+        return;
+    }
+    if (auto wit = wirelessTxns_.find(line); wit != wirelessTxns_.end()) {
+        wit->second.deferred.push_back(op);
+        return;
+    }
+
+    switch (st) {
+      case L1State::M:
+      case L1State::E: {
+        // Ownership makes the local update atomic.
+        std::uint64_t old = e->data.word(addr);
+        e->state = static_cast<std::uint8_t>(L1State::M);
+        e->dirty = true;
+        e->data.setWord(addr, op.modify(old));
+        array_.touch(e, fabric_.simulator().now());
+        fabric_.simulator().schedule(
+            fabric_.config().l1HitLatency,
+            [this, token, old] { complete(token, old); });
+        return;
+      }
+      case L1State::W: {
+        // A no-op RMW (e.g. a failed compare-and-swap: the modify
+        // function returns the value unchanged) performs no store, so
+        // nothing needs to broadcast; it linearizes at its local read
+        // like an ordinary load.
+        std::uint64_t cur = e->data.word(addr);
+        if (op.modify(cur) == cur) {
+            e->updateCount = 0;
+            array_.touch(e, fabric_.simulator().now());
+            fabric_.simulator().schedule(
+                fabric_.config().l1HitLatency,
+                [this, token, cur] { complete(token, cur); });
+            return;
+        }
+        // Section IV-C: wireless RMW. Pin the line, send the new value;
+        // any intervening update/invalidate retries the whole RMW.
+        e->locked = true;
+        issueWirelessWrite(op);
+        return;
+      }
+      case L1State::S:
+        startMiss(op, lineAlign(addr), true);
+        return;
+      case L1State::I:
+        startMiss(op, lineAlign(addr), false);
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wired miss path
+// ---------------------------------------------------------------------
+
+void
+L1Controller::startMiss(const PendingOp &op, Addr line,
+                        bool is_sharer_upgrade)
+{
+    auto it = txns_.find(line);
+    if (it != txns_.end()) {
+        // Coalesce behind the outstanding transaction. If a write joins
+        // a read-only transaction we conservatively leave the request
+        // type alone; the fill completes the read and the write then
+        // re-executes against the filled state.
+        it->second.ops.push_back(op);
+        return;
+    }
+    Txn txn;
+    txn.line = line;
+    txn.request = (op.kind == TxnKind::Read) ? MsgType::GetS
+                                             : MsgType::GetX;
+    txn.isSharerUpgrade = is_sharer_upgrade;
+    txn.ops.push_back(op);
+    // Pin a resident copy (upgrade in flight) against replacement; the
+    // fill or invalidation that ends the transaction unpins it.
+    if (CacheEntry *e = array_.lookup(line))
+        e->locked = true;
+    if (op.kind == TxnKind::Read)
+        ++stats_.readMisses;
+    else
+        ++stats_.writeMisses;
+    auto [ins, ok] = txns_.emplace(line, std::move(txn));
+    WIDIR_ASSERT(ok, "duplicate txn");
+    sendRequest(ins->second);
+}
+
+void
+L1Controller::sendRequest(Txn &txn)
+{
+    // Recompute the sharer indication from the *current* cache state:
+    // an Inv may have taken our copy while a previous send was in
+    // flight, and a stale "I am a sharer" flag would let a W-state
+    // directory discard the request as redundant (Table II, W->W
+    // case 2) when it is not.
+    CacheEntry *e = array_.lookup(txn.line);
+    txn.isSharerUpgrade =
+        e && static_cast<L1State>(e->state) == L1State::S;
+    Msg msg;
+    msg.type = txn.request;
+    msg.dst = fabric_.homeOf(txn.line);
+    msg.line = txn.line;
+    msg.isSharer = txn.isSharerUpgrade;
+    send(msg);
+}
+
+void
+L1Controller::retryAfterNack(Addr line)
+{
+    auto it = txns_.find(line);
+    if (it == txns_.end())
+        return;
+    Txn &txn = it->second;
+    if (txn.superseded)
+        return;
+    ++txn.retries;
+    const auto &cfg = fabric_.config();
+    // Exponential backoff: long directory transactions (joins,
+    // censuses) would otherwise drown the mesh in retry traffic.
+    Tick scale = Tick{1} << std::min<std::uint32_t>(txn.retries, 4);
+    Tick delay = cfg.nackRetryBase * scale +
+                 rng_.below((cfg.nackRetryJitter ? cfg.nackRetryJitter
+                                                 : 1) *
+                            scale);
+    fabric_.simulator().schedule(delay, [this, line] {
+        auto it2 = txns_.find(line);
+        if (it2 != txns_.end() && !it2->second.superseded)
+            sendRequest(it2->second);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Completion plumbing
+// ---------------------------------------------------------------------
+
+void
+L1Controller::completeOps(std::vector<PendingOp> ops)
+{
+    // Re-execute each queued op against the (now filled) cache state.
+    // Reads complete immediately; writes/RMWs re-enter the normal path
+    // so that e.g. a write that coalesced behind a GetS performs its
+    // own upgrade if the fill granted only S.
+    for (auto &op : ops) {
+        switch (op.kind) {
+          case TxnKind::Read: {
+            CacheEntry *e = array_.lookup(op.addr);
+            if (e && static_cast<L1State>(e->state) != L1State::I) {
+                e->updateCount = 0;
+                complete(op.token, e->data.word(op.addr));
+            } else {
+                // Line vanished between fill and drain (e.g. WirInv
+                // raced the fill): retry as a fresh miss.
+                --stats_.loads; // read() will count it again
+                read(op.addr, op.token);
+            }
+            break;
+          }
+          case TxnKind::Write:
+            --stats_.stores;
+            write(op.addr, op.storeValue, op.token);
+            break;
+          case TxnKind::Rmw:
+            --stats_.rmws;
+            rmw(op.addr, std::move(op.modify), op.token);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fills and evictions
+// ---------------------------------------------------------------------
+
+void
+L1Controller::applyFill(const Msg &msg)
+{
+    applyFillAs(msg, false);
+}
+
+mem::CacheEntry *
+L1Controller::makeRoom(Addr line)
+{
+    if (CacheEntry *hit = array_.lookup(line))
+        return hit;
+    CacheEntry *victim = array_.pickVictim(line);
+    if (!victim)
+        return nullptr;
+    if (victim->valid)
+        evict(victim);
+    return victim;
+}
+
+void
+L1Controller::evict(CacheEntry *victim)
+{
+    ++stats_.evictions;
+    Msg msg;
+    msg.line = victim->line;
+    msg.dst = fabric_.homeOf(victim->line);
+    switch (static_cast<L1State>(victim->state)) {
+      case L1State::M:
+        msg.type = MsgType::PutM;
+        msg.hasData = true;
+        msg.data = victim->data;
+        msg.dirtyData = true;
+        break;
+      case L1State::E:
+        msg.type = MsgType::PutE;
+        break;
+      case L1State::S:
+        msg.type = MsgType::PutS;
+        break;
+      case L1State::W:
+        // Table I, W->I on eviction: notify with PutW over the wired
+        // network (III-B2: wired to save wireless bandwidth).
+        msg.type = MsgType::PutW;
+        ++stats_.putWSent;
+        break;
+      case L1State::I:
+        array_.invalidate(victim);
+        return;
+    }
+    array_.invalidate(victim);
+    send(msg);
+}
+
+void
+L1Controller::applyFillAs(const Msg &msg, bool force_w)
+{
+    CacheEntry *frame = makeRoom(msg.line);
+    if (!frame) {
+        // Every way is pinned (rare: RMW-pinned plus concurrent fill in
+        // a 2-way set). Retry the fill shortly.
+        Msg copy = msg;
+        fabric_.simulator().schedule(4, [this, copy, force_w] {
+            applyFillAs(copy, force_w);
+        });
+        return;
+    }
+    L1State st = L1State::S;
+    if (msg.type == MsgType::WirUpgr || force_w) {
+        st = L1State::W;
+    } else {
+        switch (msg.grant) {
+          case GrantState::S: st = L1State::S; break;
+          case GrantState::E: st = L1State::E; break;
+          case GrantState::M: st = L1State::M; break;
+        }
+    }
+    WIDIR_ASSERT(msg.hasData, "fill without data");
+    array_.fill(frame, msg.line, static_cast<std::uint8_t>(st),
+                msg.data);
+    if (st == L1State::M)
+        frame->dirty = true;
+}
+
+void
+L1Controller::finishFill(const Msg &msg)
+{
+    auto it = txns_.find(msg.line);
+    if (it == txns_.end() || it->second.superseded) {
+        // Response for a transaction that BrWirUpgr already satisfied:
+        // drop it (the directory also discards the stale request side).
+        return;
+    }
+    Txn txn = std::move(it->second);
+    txns_.erase(it);
+    if (txn.fillAsW && msg.type == MsgType::Data) {
+        // The line arrived while we held the census tone: the census
+        // counted us, so the copy enters W (case iii of III-B1). Only
+        // an S grant can be in flight across an S->W transition.
+        WIDIR_ASSERT(msg.grant == GrantState::S,
+                     "non-S grant crossed a BrWirUpgr census");
+        applyFillAs(msg, true);
+    } else {
+        applyFill(msg);
+    }
+    dropToneIfHeld(txn);
+    if (msg.type == MsgType::WirUpgr && msg.needsAck) {
+        // Table I, I->W when the directory is already in W: ack the
+        // join so the directory can bump SharerCount (Table II, W->W).
+        Msg ack;
+        ack.type = MsgType::WirUpgrAck;
+        ack.dst = msg.src;
+        ack.line = msg.line;
+        send(ack);
+    }
+    completeOps(std::move(txn.ops));
+}
+
+// ---------------------------------------------------------------------
+// Wireless write / RMW path (Section IV-C)
+// ---------------------------------------------------------------------
+
+void
+L1Controller::issueWirelessWrite(const PendingOp &op)
+{
+    Addr line = lineAlign(op.addr);
+    auto it = wirelessTxns_.find(line);
+    if (it != wirelessTxns_.end()) {
+        // A frame for this line is already in flight. Every wireless
+        // write is its own WirUpd broadcast (sharers must observe each
+        // value), so later same-line ops wait their turn.
+        it->second.deferred.push_back(op);
+        return;
+    }
+
+    CacheEntry *e = array_.lookup(op.addr);
+    WIDIR_ASSERT(e && static_cast<L1State>(e->state) == L1State::W,
+                 "wireless write on a non-W line");
+    // Pin the line: it may not be evicted while its update is queued
+    // at the transceiver (and Section IV-C pins RMW lines explicitly).
+    e->locked = true;
+
+    WirelessTxn wtxn;
+    wtxn.line = line;
+    wtxn.op = op;
+    auto [ins, ok] = wirelessTxns_.emplace(line, std::move(wtxn));
+    WIDIR_ASSERT(ok, "duplicate wireless txn");
+
+    wireless::Frame frame;
+    frame.src = node_;
+    frame.kind = wireless::FrameKind::WirUpd;
+    frame.lineAddr = line;
+    frame.wordAddr = op.addr;
+    // For RMWs the transmitted value is a function of the local word.
+    // The local word cannot change between issue and commit: a remote
+    // update in that window squashes and retries the RMW (the paper's
+    // monitoring, Section IV-C), so computing the result here is
+    // equivalent. `modify` must therefore be a pure function.
+    frame.value = (op.kind == TxnKind::Rmw)
+        ? ins->second.op.modify(e->data.word(op.addr))
+        : op.storeValue;
+
+    auto *channel = fabric_.dataChannel();
+    WIDIR_ASSERT(channel, "wireless write without a wireless channel");
+    ins->second.channelToken = channel->transmit(
+        frame, [this, line] { wirelessCommit(line); });
+}
+
+void
+L1Controller::wirelessCommit(Addr line)
+{
+    auto it = wirelessTxns_.find(line);
+    if (it == wirelessTxns_.end())
+        return; // squashed between channel grant and commit event
+    WirelessTxn wtxn = std::move(it->second);
+    wirelessTxns_.erase(it);
+
+    CacheEntry *e = array_.lookup(line);
+    WIDIR_ASSERT(e && static_cast<L1State>(e->state) == L1State::W,
+                 "wireless commit on a non-W line");
+    ++stats_.wirelessWrites;
+    e->locked = false;
+
+    std::uint64_t completion_value;
+    PendingOp &op = wtxn.op;
+    if (op.kind == TxnKind::Rmw) {
+        std::uint64_t old = e->data.word(op.addr);
+        e->data.setWord(op.addr, op.modify(old));
+        completion_value = old;
+    } else {
+        e->data.setWord(op.addr, op.storeValue);
+        completion_value = op.storeValue;
+    }
+    e->updateCount = 0;
+    array_.touch(e, fabric_.simulator().now());
+
+    // Re-issue the next same-line write BEFORE completing the CPU
+    // token: completion synchronously drains the core's write buffer,
+    // and a younger same-line store arriving then must find this queue
+    // in place or it would jump ahead of the deferred ops.
+    if (!wtxn.deferred.empty()) {
+        PendingOp next = std::move(wtxn.deferred.front());
+        std::vector<PendingOp> rest(
+            std::make_move_iterator(wtxn.deferred.begin() + 1),
+            std::make_move_iterator(wtxn.deferred.end()));
+        issueWirelessWrite(next);
+        auto nit = wirelessTxns_.find(line);
+        WIDIR_ASSERT(nit != wirelessTxns_.end(),
+                     "deferred reissue lost its txn");
+        for (auto &d : rest)
+            nit->second.deferred.push_back(std::move(d));
+    }
+    complete(op.token, completion_value);
+}
+
+void
+L1Controller::squashWireless(Addr line, bool retry_wired)
+{
+    auto it = wirelessTxns_.find(line);
+    if (it == wirelessTxns_.end())
+        return;
+    WirelessTxn wtxn = std::move(it->second);
+    wirelessTxns_.erase(it);
+    fabric_.dataChannel()->cancelPending(wtxn.channelToken);
+    ++stats_.wirelessSquashes;
+
+    if (CacheEntry *e = array_.lookup(line))
+        e->locked = false;
+
+    WIDIR_ASSERT(retry_wired,
+                 "squashed wireless ops must be retried");
+    // Section IV-C: squash the pending write and retry it; the retry
+    // re-enters through the normal CPU path and takes whatever route
+    // the new cache state dictates (wired GetX after a WirInv, wired
+    // upgrade after a WirDwgr, or wireless again if still W).
+    //
+    // The retry is dispersed by a few cycles: squashes are triggered
+    // by a broadcast delivery, so every squashed core would otherwise
+    // re-arbitrate at the same tick and collide deterministically
+    // (the pipeline replay of the RMW takes a few cycles anyway).
+    auto ops = std::make_shared<std::vector<PendingOp>>();
+    ops->push_back(std::move(wtxn.op));
+    for (auto &d : wtxn.deferred)
+        ops->push_back(std::move(d));
+    Tick disperse = 1 + rng_.below(10);
+    fabric_.simulator().schedule(disperse, [this, ops] {
+        for (auto &op : *ops) {
+            switch (op.kind) {
+              case TxnKind::Write:
+                --stats_.stores;
+                write(op.addr, op.storeValue, op.token);
+                break;
+              case TxnKind::Rmw:
+                --stats_.rmws;
+                rmw(op.addr, std::move(op.modify), op.token);
+                break;
+              case TxnKind::Read:
+                sim::panic("read in wireless txn");
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Incoming wired messages
+// ---------------------------------------------------------------------
+
+void
+L1Controller::receive(const Msg &msg)
+{
+    switch (msg.type) {
+      case MsgType::Data:
+        handleData(msg);
+        break;
+      case MsgType::Nack:
+        handleNack(msg);
+        break;
+      case MsgType::Inv:
+        handleInv(msg);
+        break;
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetX:
+        handleFwd(msg);
+        break;
+      case MsgType::WirUpgr:
+        handleWirUpgr(msg);
+        break;
+      default:
+        sim::panic("L1 %u received unexpected %s", node_,
+                   msgTypeName(msg.type));
+    }
+}
+
+void
+L1Controller::handleData(const Msg &msg)
+{
+    finishFill(msg);
+}
+
+void
+L1Controller::handleWirUpgr(const Msg &msg)
+{
+    finishFill(msg);
+}
+
+void
+L1Controller::handleNack(const Msg &msg)
+{
+    ++stats_.nacksSeen;
+    auto it = txns_.find(msg.line);
+    if (it == txns_.end())
+        return;
+    if (it->second.superseded) {
+        // The bounced request was already satisfied wirelessly.
+        Txn txn = std::move(it->second);
+        txns_.erase(it);
+        dropToneIfHeld(txn);
+        completeOps(std::move(txn.ops));
+        return;
+    }
+    // A bounced response also releases a census tone held for this
+    // request (Section III-B1, completion case iii). The census is
+    // over for us: a fill delivered to the retried request is a fresh
+    // post-census grant and must be installed as granted.
+    dropToneIfHeld(it->second);
+    it->second.fillAsW = false;
+    retryAfterNack(msg.line);
+}
+
+void
+L1Controller::handleInv(const Msg &msg)
+{
+    CacheEntry *e = array_.lookup(msg.line);
+    Msg ack;
+    ack.type = MsgType::InvAck;
+    ack.dst = msg.src;
+    ack.line = msg.line;
+    if (e && static_cast<L1State>(e->state) != L1State::I) {
+        WIDIR_ASSERT(static_cast<L1State>(e->state) != L1State::W,
+                     "wired Inv for a W line");
+        if (msg.needData &&
+            (static_cast<L1State>(e->state) == L1State::M)) {
+            ack.hasData = true;
+            ack.data = e->data;
+            ack.dirtyData = true;
+        }
+        array_.invalidate(e);
+    }
+    send(ack);
+}
+
+void
+L1Controller::handleFwd(const Msg &msg)
+{
+    CacheEntry *e = array_.lookup(msg.line);
+    if (!e || static_cast<L1State>(e->state) == L1State::I) {
+        // We already evicted: our PutE/PutM is in flight and will
+        // complete the directory's transaction; drop the forward.
+        return;
+    }
+    L1State st = static_cast<L1State>(e->state);
+    WIDIR_ASSERT(st == L1State::E || st == L1State::M,
+                 "Fwd to non-owner (state %s)", l1StateName(st));
+    Msg resp;
+    resp.type = MsgType::OwnerData;
+    resp.dst = msg.src;
+    resp.line = msg.line;
+    resp.hasData = true;
+    resp.data = e->data;
+    resp.dirtyData = (st == L1State::M);
+    if (msg.type == MsgType::FwdGetS) {
+        e->state = static_cast<std::uint8_t>(L1State::S);
+        e->dirty = false;
+    } else {
+        array_.invalidate(e);
+    }
+    send(resp);
+}
+
+// ---------------------------------------------------------------------
+// Incoming wireless frames (Table I)
+// ---------------------------------------------------------------------
+
+void
+L1Controller::receiveFrame(const wireless::Frame &frame)
+{
+    switch (frame.kind) {
+      case wireless::FrameKind::WirUpd:
+        handleWirUpd(frame);
+        break;
+      case wireless::FrameKind::BrWirUpgr:
+        handleBrWirUpgr(frame);
+        break;
+      case wireless::FrameKind::WirDwgr:
+        handleWirDwgr(frame);
+        break;
+      case wireless::FrameKind::WirInv:
+        handleWirInv(frame);
+        break;
+    }
+}
+
+void
+L1Controller::handleWirUpd(const wireless::Frame &frame)
+{
+    if (frame.src == node_)
+        return; // own update was merged at commit
+    CacheEntry *e = array_.lookup(frame.lineAddr);
+    if (!e || static_cast<L1State>(e->state) != L1State::W)
+        return;
+    // Apply the fine-grain update.
+    e->data.setWord(frame.wordAddr, frame.value);
+    ++stats_.updatesApplied;
+
+    // A pending local wireless RMW races this update: the paper's
+    // hardware monitors for exactly this and retries the RMW with the
+    // fresh value (Section IV-C). A pending plain write keeps its queue
+    // slot (its value overwrites this one at its own commit).
+    auto wit = wirelessTxns_.find(frame.lineAddr);
+    if (wit != wirelessTxns_.end() &&
+        wit->second.op.kind == TxnKind::Rmw) {
+        squashWireless(frame.lineAddr, true);
+        e = array_.lookup(frame.lineAddr); // retry path may not refill
+    }
+
+    // UpdateCount self-invalidation (Section III-B2): after too many
+    // remote updates with no local access, leave the sharing group. A
+    // line with local work queued is still "actively shared".
+    if (e && wirelessTxns_.count(frame.lineAddr) == 0 && !e->locked) {
+        if (++e->updateCount >=
+            fabric_.config().updateCountThreshold) {
+            ++stats_.selfInvalidations;
+            ++stats_.putWSent;
+            Msg put;
+            put.type = MsgType::PutW;
+            put.dst = fabric_.homeOf(frame.lineAddr);
+            put.line = frame.lineAddr;
+            array_.invalidate(e);
+            send(put);
+        }
+    }
+}
+
+void
+L1Controller::handleBrWirUpgr(const wireless::Frame &frame)
+{
+    // Global ToneAck census (Section III-B1). Every node participates;
+    // the directory node began the census before this delivery.
+    auto *tone = fabric_.toneChannel();
+    WIDIR_ASSERT(tone, "BrWirUpgr without a tone channel");
+    tone->raise();
+
+    CacheEntry *e = array_.lookup(frame.lineAddr);
+    auto tit = txns_.find(frame.lineAddr);
+
+    if (e && static_cast<L1State>(e->state) == L1State::S) {
+        // Table I, S->W case 1: a current sharer moves to W.
+        e->state = static_cast<std::uint8_t>(L1State::W);
+        e->updateCount = 0;
+        if (tit != txns_.end()) {
+            // Table I, S->W case 2: our sharer-upgrade GetX raced the
+            // transition; the directory discards it. Satisfy the write
+            // through the wireless path instead.
+            e->locked = false; // upgrade pin no longer needed
+            Txn txn = std::move(tit->second);
+            txns_.erase(tit);
+            tone->drop();
+            completeOps(std::move(txn.ops)); // re-executes as W ops
+            return;
+        }
+        tone->drop();
+        return;
+    }
+
+    if (tit != txns_.end()) {
+        // Completion case (iii): we have a wired request in flight for
+        // this line. Hold the tone until the line or a bounce arrives;
+        // if the line arrives, it must be installed in W -- the
+        // census counted us as a wireless sharer.
+        tit->second.toneHeld = true;
+        tit->second.fillAsW = true;
+        return;
+    }
+    // Case (i): nothing to do.
+    tone->drop();
+}
+
+void
+L1Controller::dropToneIfHeld(Txn &txn)
+{
+    if (!txn.toneHeld)
+        return;
+    txn.toneHeld = false;
+    auto *tone = fabric_.toneChannel();
+    WIDIR_ASSERT(tone, "tone held without a tone channel");
+    tone->drop();
+}
+
+void
+L1Controller::handleWirDwgr(const wireless::Frame &frame)
+{
+    CacheEntry *e = array_.lookup(frame.lineAddr);
+    if (!e || static_cast<L1State>(e->state) != L1State::W)
+        return;
+    // Table I, W->S: acknowledge with our core id over the wired
+    // network and downgrade. Any queued wireless write re-issues after
+    // the downgrade, so it takes the wired upgrade path as a plain S
+    // sharer.
+    e->state = static_cast<std::uint8_t>(L1State::S);
+    e->updateCount = 0;
+    Msg ack;
+    ack.type = MsgType::WirDwgrAck;
+    ack.dst = frame.src;
+    ack.line = frame.lineAddr;
+    send(ack);
+    squashWireless(frame.lineAddr, true);
+}
+
+void
+L1Controller::handleWirInv(const wireless::Frame &frame)
+{
+    CacheEntry *e = array_.lookup(frame.lineAddr);
+    if (!e || static_cast<L1State>(e->state) != L1State::W)
+        return;
+    // Table I, W->I: invalidate; squash any pending write and retry it
+    // through the wired network (it will re-allocate the directory
+    // entry).
+    array_.invalidate(e);
+    squashWireless(frame.lineAddr, true);
+}
+
+} // namespace widir::coherence

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Private-cache (L1D) coherence controller.
+ *
+ * Implements the cache side of the MESI directory protocol plus the
+ * WiDir Wireless (W) state: all the private-cache transitions of
+ * Table I of the paper, the UpdateCount self-invalidation mechanism
+ * (Section III-B2), and the wireless write / wireless RMW path with
+ * squash-and-retry semantics (Section IV-C).
+ *
+ * The CPU model calls read()/write()/rmw(); each call carries an opaque
+ * token and completes through the completion callback, after the L1 hit
+ * latency on hits or after the full coherence transaction on misses.
+ */
+
+#ifndef WIDIR_CORE_L1_CONTROLLER_H
+#define WIDIR_CORE_L1_CONTROLLER_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fabric.h"
+#include "core/messages.h"
+#include "mem/cache_array.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "wireless/frame.h"
+
+namespace widir::coherence {
+
+/** L1 line states (stored in mem::CacheEntry::state). */
+enum class L1State : std::uint8_t
+{
+    I = 0,
+    S,
+    E,
+    M,
+    W, ///< WiDir Wireless Shared
+};
+
+const char *l1StateName(L1State s);
+
+/** Private L1 data cache + coherence controller for one tile. */
+class L1Controller
+{
+  public:
+    /**
+     * Completion callback: (token, load_value). Stores/RMWs report the
+     * pre-op / final value as documented per call.
+     */
+    using CompletionFn =
+        std::function<void(std::uint64_t token, std::uint64_t value)>;
+
+    struct CacheConfig
+    {
+        std::uint64_t sizeBytes = 64 * 1024; ///< Table III: 64 KB
+        std::uint32_t assoc = 2;             ///< 2-way
+    };
+
+    L1Controller(CoherenceFabric &fabric, sim::NodeId node,
+                 const CacheConfig &cache_cfg);
+
+    sim::NodeId nodeId() const { return node_; }
+
+    /** Register the CPU-side completion callback. */
+    void setCompletion(CompletionFn fn) { complete_ = std::move(fn); }
+
+    /// @name CPU-facing operations (all addresses 8-byte aligned)
+    /// @{
+    /** Load a 64-bit word; completes with the loaded value. */
+    void read(sim::Addr addr, std::uint64_t token);
+
+    /** Store a 64-bit word; completes with the stored value. */
+    void write(sim::Addr addr, std::uint64_t value, std::uint64_t token);
+
+    /**
+     * Atomic read-modify-write: applies @p modify to the current word
+     * value at the serialization point; completes with the OLD value.
+     */
+    void rmw(sim::Addr addr,
+             std::function<std::uint64_t(std::uint64_t)> modify,
+             std::uint64_t token);
+    /// @}
+
+    /** Wired message arrival (called by the fabric). */
+    void receive(const Msg &msg);
+
+    /** Wireless frame arrival (registered with the data channel). */
+    void receiveFrame(const wireless::Frame &frame);
+
+    /// @name Introspection for tests and checkers
+    /// @{
+    L1State stateOf(sim::Addr addr) const;
+    /** Functional word value if present, or std::nullopt semantics via ok. */
+    bool peekWord(sim::Addr addr, std::uint64_t &value) const;
+    mem::CacheArray &array() { return array_; }
+    bool hasPendingTxn(sim::Addr addr) const;
+    /// @}
+
+    /// @name Statistics
+    /// @{
+    struct Stats
+    {
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t rmws = 0;
+        std::uint64_t loadHits = 0;
+        std::uint64_t storeHits = 0;
+        std::uint64_t readMisses = 0;   ///< transactions begun by a read
+        std::uint64_t writeMisses = 0;  ///< transactions begun by a write
+        std::uint64_t nacksSeen = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t putWSent = 0;
+        std::uint64_t selfInvalidations = 0; ///< UpdateCount expiries
+        std::uint64_t wirelessWrites = 0;    ///< committed WirUpd frames
+        std::uint64_t wirelessSquashes = 0;  ///< pending writes squashed
+        std::uint64_t updatesApplied = 0;    ///< remote WirUpd applied
+    };
+    const Stats &stats() const { return stats_; }
+    /// @}
+
+  private:
+    /** Why a wired transaction is outstanding. */
+    enum class TxnKind : std::uint8_t { Read, Write, Rmw };
+
+    /** One pending CPU operation attached to a transaction. */
+    struct PendingOp
+    {
+        TxnKind kind;
+        std::uint64_t token;
+        std::uint64_t storeValue = 0;
+        std::function<std::uint64_t(std::uint64_t)> modify;
+        sim::Addr addr = sim::kAddrNone; ///< full word address
+    };
+
+    /** Outstanding wired transaction for one line (one max per line). */
+    struct Txn
+    {
+        sim::Addr line;
+        MsgType request;          ///< GetS or GetX
+        bool isSharerUpgrade = false;
+        bool superseded = false;  ///< satisfied via BrWirUpgr instead
+        bool toneHeld = false;    ///< census waits on this txn
+        /**
+         * A BrWirUpgr census caught this request in flight: a line
+         * that arrives must be installed in W, not S (Section III-B1,
+         * completion case iii -- the census already counted us).
+         */
+        bool fillAsW = false;
+        std::vector<PendingOp> ops;
+        std::uint32_t retries = 0;
+    };
+
+    /**
+     * Pending wireless transmission state. Exactly one op rides the
+     * in-flight frame; later same-line writes wait in `deferred` and
+     * transmit their own frames in order (every wireless write is its
+     * own WirUpd broadcast).
+     */
+    struct WirelessTxn
+    {
+        sim::Addr line;
+        std::uint64_t channelToken = 0;
+        PendingOp op;
+        std::vector<PendingOp> deferred;
+    };
+
+    // -- CPU op entry points ------------------------------------------
+    void startMiss(const PendingOp &op, sim::Addr line,
+                   bool is_sharer_upgrade);
+    void sendRequest(Txn &txn);
+    void retryAfterNack(sim::Addr line);
+
+    // -- wireless write path (Section IV-C) ---------------------------
+    void issueWirelessWrite(const PendingOp &op);
+    void wirelessCommit(sim::Addr line);
+    void squashWireless(sim::Addr line, bool retry_wired);
+
+    // -- fills, hits, evictions ----------------------------------------
+    void completeOps(std::vector<PendingOp> ops);
+    void finishFill(const Msg &msg);
+    void applyFill(const Msg &msg);
+    void applyFillAs(const Msg &msg, bool force_w);
+    mem::CacheEntry *makeRoom(sim::Addr line);
+    void evict(mem::CacheEntry *victim);
+
+    // -- incoming wired handlers ---------------------------------------
+    void handleData(const Msg &msg);
+    void handleNack(const Msg &msg);
+    void handleInv(const Msg &msg);
+    void handleFwd(const Msg &msg);
+    void handleWirUpgr(const Msg &msg);
+
+    // -- incoming wireless handlers (Table I) --------------------------
+    void handleWirUpd(const wireless::Frame &frame);
+    void handleBrWirUpgr(const wireless::Frame &frame);
+    void handleWirDwgr(const wireless::Frame &frame);
+    void handleWirInv(const wireless::Frame &frame);
+
+    /** Drop the census tone held for @p txn if any. */
+    void dropToneIfHeld(Txn &txn);
+
+    void send(Msg msg);
+    void complete(std::uint64_t token, std::uint64_t value);
+
+    CoherenceFabric &fabric_;
+    sim::NodeId node_;
+    mem::CacheArray array_;
+    sim::Rng rng_;
+    CompletionFn complete_;
+    std::unordered_map<sim::Addr, Txn> txns_;
+    std::unordered_map<sim::Addr, WirelessTxn> wirelessTxns_;
+    Stats stats_;
+};
+
+} // namespace widir::coherence
+
+#endif // WIDIR_CORE_L1_CONTROLLER_H

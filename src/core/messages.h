@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Wired coherence messages exchanged between private-cache (L1)
+ * controllers and directory controllers over the mesh.
+ *
+ * Wireless transactions use wireless::Frame instead; the wired types
+ * here include WiDir's wired legs (WirUpgr, WirUpgrAck, WirDwgrAck,
+ * PutW) from Tables I and II.
+ */
+
+#ifndef WIDIR_CORE_MESSAGES_H
+#define WIDIR_CORE_MESSAGES_H
+
+#include <cstdint>
+
+#include "mem/line_data.h"
+#include "sim/types.h"
+
+namespace widir::coherence {
+
+using sim::Addr;
+using sim::NodeId;
+
+/** Wired message opcodes. */
+enum class MsgType : std::uint8_t
+{
+    // L1 -> directory requests
+    GetS,        ///< read miss
+    GetX,        ///< write miss / upgrade (isSharer flags an upgrade)
+    PutS,        ///< clean shared eviction notification
+    PutE,        ///< clean exclusive eviction notification
+    PutM,        ///< dirty eviction write-back (carries data)
+    PutW,        ///< WiDir: leaving wireless sharing (III-B2)
+
+    // directory -> L1 responses/commands
+    Data,        ///< grant with line data (granted state attached)
+    Nack,        ///< bounce: directory entry busy, retry
+    Inv,         ///< invalidate (needData set on an owner recall)
+    FwdGetS,     ///< forwarded read: owner must supply data
+    FwdGetX,     ///< forwarded write: owner supplies data + invalidates
+    WirUpgr,     ///< WiDir: wireless upgrade + line via wired (Table I)
+
+    // L1 -> directory responses
+    InvAck,      ///< invalidation acknowledged (data if owner recall)
+    OwnerData,   ///< owner's line in response to Fwd*
+    WirUpgrAck,  ///< WiDir: ack of a W-state join (Table II)
+    WirDwgrAck,  ///< WiDir: survivor id during W -> S (Table II)
+};
+
+/** Human-readable opcode name. */
+const char *msgTypeName(MsgType t);
+
+/** L1 cache state granted by a Data message. */
+enum class GrantState : std::uint8_t { S, E, M };
+
+/** One wired coherence message. */
+struct Msg
+{
+    MsgType type = MsgType::GetS;
+    NodeId src = sim::kNodeNone;
+    NodeId dst = sim::kNodeNone;
+    Addr line = sim::kAddrNone;     ///< line-aligned address
+
+    /// @name Type-specific fields
+    /// @{
+    bool isSharer = false;          ///< GetX: requester already shares
+    bool needData = false;          ///< Inv: recall, owner returns data
+    bool needsAck = false;          ///< WirUpgr: reply with WirUpgrAck
+    bool dirtyData = false;         ///< OwnerData/InvAck: line is dirty
+    GrantState grant = GrantState::S; ///< Data: granted state
+    NodeId requester = sim::kNodeNone; ///< Fwd*: final requester
+    bool hasData = false;           ///< true if `data` is meaningful
+    mem::LineData data;             ///< line payload
+    /// @}
+};
+
+/** True for message types that carry a full cache line. */
+inline bool
+carriesLine(MsgType t)
+{
+    switch (t) {
+      case MsgType::Data:
+      case MsgType::PutM:
+      case MsgType::OwnerData:
+      case MsgType::WirUpgr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace widir::coherence
+
+#endif // WIDIR_CORE_MESSAGES_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Configuration of the coherence protocol layer.
+ *
+ * The same controllers implement both evaluated protocols:
+ *  - Baseline: MESI with a Dir_3_B directory (3 sharer pointers plus a
+ *    broadcast bit) over the wired mesh only.
+ *  - WiDir: the same protocol augmented with the Wireless (W) state and
+ *    the wireless transactions of Tables I and II.
+ */
+
+#ifndef WIDIR_CORE_PROTOCOL_CONFIG_H
+#define WIDIR_CORE_PROTOCOL_CONFIG_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace widir::coherence {
+
+using sim::Tick;
+
+/** Which protocol the manycore runs. */
+enum class Protocol : std::uint8_t
+{
+    BaselineMESI, ///< Dir_3_B MESI, wired NoC only
+    WiDir,        ///< MESI + Wireless state over the WNoC
+};
+
+/** Protocol-layer parameters (Table III defaults). */
+struct ProtocolConfig
+{
+    Protocol protocol = Protocol::WiDir;
+
+    /** Sharer pointers in a directory entry (i in Dir_iB). */
+    std::uint32_t dirPointers = 3;
+
+    /**
+     * WiDir: sharer count above which a line switches to the W state.
+     * Must not exceed dirPointers (Section III-B).
+     */
+    std::uint32_t maxWiredSharers = 3;
+
+    /**
+     * WiDir: wireless updates received without a local access before a
+     * cache self-invalidates its W copy (2-bit counter; Section
+     * III-B2).
+     */
+    std::uint32_t updateCountThreshold = 4;
+
+    /// @name Latencies (cycles)
+    /// @{
+    Tick l1HitLatency = 2;       ///< L1 round trip (Table III)
+    Tick l1ProcLatency = 1;      ///< handling an incoming message at L1
+    Tick dirProcLatency = 2;     ///< directory tag/state access
+    Tick llcDataLatency = 10;    ///< LLC bank data array access
+    /// @}
+
+    /// @name Wired message sizes (bits)
+    /// @{
+    std::uint32_t ctrlBits = 72;          ///< header + address
+    std::uint32_t dataBits = 72 + 512;    ///< header + 64B line
+    /// @}
+
+    /// @name Bounce (NACK) retry behaviour
+    /// @{
+    Tick nackRetryBase = 16;   ///< fixed retry delay
+    Tick nackRetryJitter = 16; ///< plus uniform random [0, jitter)
+    /// @}
+
+    bool wireless() const { return protocol == Protocol::WiDir; }
+};
+
+} // namespace widir::coherence
+
+#endif // WIDIR_CORE_PROTOCOL_CONFIG_H

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Retirement-centric out-of-order core timing model.
+ *
+ * Models the Table III core: 4-issue-wide, 180-entry ROB, 64-entry
+ * write buffer. The model is driven by a thread-program coroutine
+ * (cpu::Task): the coroutine appends instructions to the ROB through
+ * the Thread awaitables; the core retires them in order at up to four
+ * per cycle. The quantities the paper evaluates fall out directly:
+ *
+ *  - execution time: cycle at which the program and all its memory
+ *    operations have drained;
+ *  - memory stall cycles: cycles in which retirement is blocked by an
+ *    incomplete memory operation at the head of the ROB (Fig. 8's
+ *    "Memory stall" component);
+ *  - per-operation latency: ROB-entry to ROB-retire per load and per
+ *    store (Fig. 7);
+ *  - instruction counts for MPKI (Fig. 6, Table IV).
+ *
+ * Store handling: a store retires from the ROB into the write buffer,
+ * which drains to the L1 controller in the background with a bounded
+ * number of outstanding stores. RMWs drain the ROB and write buffer
+ * first (x86 atomics semantics), then execute at the L1/protocol
+ * layer. Blocking loads (those whose value steers control flow, e.g.
+ * synchronization spins) issue immediately and resume the coroutine
+ * when the protocol delivers the value.
+ */
+
+#ifndef WIDIR_CPU_CORE_H
+#define WIDIR_CPU_CORE_H
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/l1_controller.h"
+#include "cpu/task.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/types.h"
+
+namespace widir::cpu {
+
+using sim::Addr;
+using sim::Tick;
+
+/** Core timing parameters (Table III defaults). */
+struct CoreConfig
+{
+    std::uint32_t robSize = 180;
+    std::uint32_t retireWidth = 4;
+    std::uint32_t writeBufferSize = 64;
+    std::uint32_t maxOutstandingStores = 8;
+    /** Cap on the compute fast-forward jump, in cycles. */
+    std::uint32_t computeBatchCycles = 64;
+};
+
+class Thread;
+
+/** One simulated core: ROB + write buffer + coroutine driver. */
+class Core
+{
+  public:
+    Core(sim::Simulator &sim, coherence::L1Controller &l1,
+         sim::NodeId node, const CoreConfig &cfg);
+
+    ~Core();
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    sim::NodeId nodeId() const { return node_; }
+
+    /**
+     * Bind and start the thread program at simulated time @p start.
+     * @p body is invoked with this core's Thread facade; @p num_threads
+     * is the machine width exposed through Thread::numThreads().
+     */
+    void start(std::function<Task(Thread &)> body,
+               std::uint32_t num_threads, Tick start = 0);
+
+    /** True once the program returned and all its memory drained. */
+    bool finished() const { return finished_; }
+
+    /** Cycle at which the core finished (valid once finished()). */
+    Tick finishTick() const { return finishTick_; }
+
+    /// @name Statistics (Figs. 6-8, Table IV)
+    /// @{
+    struct Stats
+    {
+        std::uint64_t instructions = 0; ///< retired (compute + memory)
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t rmws = 0;
+        std::uint64_t memStallCycles = 0;
+        std::uint64_t loadLatencySum = 0;  ///< ROB entry -> retire
+        std::uint64_t storeLatencySum = 0;
+    };
+    const Stats &stats() const { return stats_; }
+    /// @}
+
+    /// @name Called by the Thread awaitables
+    /// @{
+    bool robHasSpace() const { return robCount_ < cfg_.robSize; }
+    void addCompute(std::uint64_t count);
+    void addStore(Addr addr, std::uint64_t value);
+    void addNonBlockingLoad(Addr addr);
+    void issueBlockingLoad(Addr addr,
+                           std::coroutine_handle<> resume_handle,
+                           std::uint64_t *result_slot);
+    void waitRmw(Addr addr,
+                 std::function<std::uint64_t(std::uint64_t)> modify,
+                 std::coroutine_handle<> resume_handle,
+                 std::uint64_t *result_slot);
+    void waitFence(std::coroutine_handle<> resume_handle);
+    void suspendForSpace(std::coroutine_handle<> resume_handle);
+    /**
+     * Pause the instruction stream for @p cycles without retiring
+     * anything (models a PAUSE/backoff loop in a spin-wait). Older
+     * ROB entries keep draining meanwhile.
+     */
+    void waitIdle(Tick cycles, std::coroutine_handle<> resume_handle);
+    sim::Rng &rng() { return rng_; }
+    sim::Simulator &simulator() { return sim_; }
+    /// @}
+
+  private:
+    enum class EntryKind : std::uint8_t { Compute, Load, Store, Rmw };
+
+    struct RobEntry
+    {
+        EntryKind kind;
+        std::uint64_t count = 1; ///< instructions (Compute only)
+        bool ready = false;      ///< Load/Rmw: value arrived
+        Addr addr = 0;
+        std::uint64_t value = 0; ///< Store: value to write
+        Tick enqueued = 0;
+    };
+
+    /** What an outstanding L1 token belongs to. */
+    enum class TokenKind : std::uint8_t
+    {
+        RobLoad,      ///< non-blocking or blocking load in the ROB
+        WbStore,      ///< write-buffer store issued to the L1
+        Rmw,          ///< atomic in flight
+    };
+
+    struct TokenInfo
+    {
+        TokenKind kind;
+        std::uint64_t robSeq = 0; ///< matching RobEntry sequence
+    };
+
+    // -- engine --------------------------------------------------------
+    void scheduleStep(Tick delay);
+    void step();
+    void drainWriteBuffer();
+    void onL1Complete(std::uint64_t token, std::uint64_t value);
+    void resumeCoroutine(std::coroutine_handle<> h);
+    void maybeIssueRmw();
+    void maybeFinish();
+    void noteStallStart();
+    void noteStallEnd();
+
+    sim::Simulator &sim_;
+    coherence::L1Controller &l1_;
+    sim::NodeId node_;
+    CoreConfig cfg_;
+    sim::Rng rng_;
+
+    Task task_;
+    std::function<Task(Thread &)> body_;
+    std::unique_ptr<Thread> thread_;
+
+    // ROB: entries carry a sequence number so completions can find
+    // them after the deque shifts.
+    std::deque<std::pair<std::uint64_t, RobEntry>> rob_;
+    std::uint64_t robSeqNext_ = 1;
+    std::uint64_t robCount_ = 0; ///< instructions currently in the ROB
+
+    // Write buffer.
+    std::deque<std::pair<Addr, std::uint64_t>> writeBuffer_;
+    std::uint32_t storesInFlight_ = 0;
+
+    // Outstanding L1 tokens.
+    std::unordered_map<std::uint64_t, TokenInfo> tokens_;
+    std::uint64_t tokenNext_ = 1;
+
+    // Coroutine suspension points (at most one active at a time).
+    std::coroutine_handle<> spaceWaiter_;
+    std::coroutine_handle<> valueWaiter_;
+    std::uint64_t *valueSlot_ = nullptr;
+    std::uint64_t blockingToken_ = 0; ///< token the value waiter awaits
+    std::coroutine_handle<> fenceWaiter_;
+
+    // Pending RMW (waits for drain before issuing).
+    bool rmwPending_ = false;
+    Addr rmwAddr_ = 0;
+    std::function<std::uint64_t(std::uint64_t)> rmwModify_;
+    bool rmwIssued_ = false;
+
+    // Stall accounting.
+    bool stalled_ = false;
+    Tick stallStart_ = 0;
+
+    bool stepScheduled_ = false;
+    Tick stepAt_ = 0;
+    bool started_ = false;
+    bool finished_ = false;
+    Tick finishTick_ = 0;
+    Stats stats_;
+};
+
+} // namespace widir::cpu
+
+#endif // WIDIR_CPU_CORE_H

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Coroutine types for simulated thread programs.
+ *
+ * A workload's per-thread body is a C++20 coroutine returning
+ * cpu::Task. The owning cpu::Core resumes it as ROB space and memory
+ * values become available; the coroutine suspends inside the
+ * awaitables provided by cpu::Thread.
+ *
+ * Tasks are composable: `co_await subTask(t, ...)` runs a
+ * sub-coroutine to completion (with symmetric transfer back to the
+ * caller), which is how the workload library layers locks, barriers
+ * and application kernels. ValueTask<T> is the value-returning
+ * variant.
+ */
+
+#ifndef WIDIR_CPU_TASK_H
+#define WIDIR_CPU_TASK_H
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace widir::cpu {
+
+namespace detail {
+
+/** Final awaiter: hand control back to the awaiting coroutine. */
+template <typename Promise>
+struct FinalAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<Promise> h) noexcept
+    {
+        auto continuation = h.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+};
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        // Workload bodies must not throw; a throw is a bug in the
+        // kernel code.
+        std::terminate();
+    }
+};
+
+} // namespace detail
+
+/** Coroutine handle wrapper for a simulated thread body. */
+template <typename T>
+class BasicTask
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        T value{};
+
+        BasicTask
+        get_return_object()
+        {
+            return BasicTask{Handle::from_promise(*this)};
+        }
+
+        detail::FinalAwaiter<promise_type>
+        final_suspend() noexcept
+        {
+            return {};
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    BasicTask() = default;
+    explicit BasicTask(Handle h) : handle_(h) {}
+
+    BasicTask(BasicTask &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    BasicTask &
+    operator=(BasicTask &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    BasicTask(const BasicTask &) = delete;
+    BasicTask &operator=(const BasicTask &) = delete;
+
+    ~BasicTask() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+    void resume() { handle_.resume(); }
+    Handle handle() const { return handle_; }
+
+    /** Awaiting a task runs it to completion, then yields its value. */
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            Handle callee;
+
+            bool
+            await_ready() const
+            {
+                return !callee || callee.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> caller)
+            {
+                callee.promise().continuation = caller;
+                return callee; // symmetric transfer into the callee
+            }
+
+            T await_resume() { return std::move(callee.promise().value); }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_)
+            handle_.destroy();
+        handle_ = nullptr;
+    }
+
+    Handle handle_;
+};
+
+/** Void specialization: the common case for thread bodies. */
+template <>
+class BasicTask<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        BasicTask
+        get_return_object()
+        {
+            return BasicTask{Handle::from_promise(*this)};
+        }
+
+        detail::FinalAwaiter<promise_type>
+        final_suspend() noexcept
+        {
+            return {};
+        }
+
+        void return_void() {}
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    BasicTask() = default;
+    explicit BasicTask(Handle h) : handle_(h) {}
+
+    BasicTask(BasicTask &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    BasicTask &
+    operator=(BasicTask &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    BasicTask(const BasicTask &) = delete;
+    BasicTask &operator=(const BasicTask &) = delete;
+
+    ~BasicTask() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+    void resume() { handle_.resume(); }
+    Handle handle() const { return handle_; }
+
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            Handle callee;
+
+            bool
+            await_ready() const
+            {
+                return !callee || callee.done();
+            }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> caller)
+            {
+                callee.promise().continuation = caller;
+                return callee;
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_)
+            handle_.destroy();
+        handle_ = nullptr;
+    }
+
+    Handle handle_;
+};
+
+/** The thread-body coroutine type. */
+using Task = BasicTask<void>;
+
+/** Value-returning sub-coroutine. */
+template <typename T>
+using ValueTask = BasicTask<T>;
+
+} // namespace widir::cpu
+
+#endif // WIDIR_CPU_TASK_H

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Thread: the awaitable API handed to workload coroutines.
+ *
+ * A workload body looks like:
+ *
+ *   cpu::Task body(cpu::Thread &t)
+ *   {
+ *       co_await t.compute(100);            // 100 ALU instructions
+ *       co_await t.store(addr, 7);          // non-blocking store
+ *       co_await t.loadNb(addr2);           // non-blocking data load
+ *       std::uint64_t v = co_await t.load(addr3);   // blocking load
+ *       std::uint64_t old = co_await t.fetchAdd(ctr, 1); // atomic
+ *       co_await t.fence();                 // drain ROB + write buffer
+ *   }
+ *
+ * Non-blocking operations suspend only when the ROB is full (flow
+ * control); blocking loads and RMWs suspend until the memory system
+ * delivers the value -- use them for values that steer control flow
+ * (lock words, flags, barrier counters) so synchronization really
+ * serializes through the coherence protocol.
+ */
+
+#ifndef WIDIR_CPU_THREAD_H
+#define WIDIR_CPU_THREAD_H
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+
+#include "cpu/core.h"
+
+namespace widir::cpu {
+
+/** Per-thread facade over a Core; passed to workload coroutines. */
+class Thread
+{
+  public:
+    Thread(Core &core, std::uint32_t thread_id,
+           std::uint32_t num_threads)
+        : core_(core), id_(thread_id), numThreads_(num_threads)
+    {
+    }
+
+    std::uint32_t id() const { return id_; }
+    std::uint32_t numThreads() const { return numThreads_; }
+    sim::Rng &rng() { return core_.rng(); }
+    Core &core() { return core_; }
+
+    // -- awaitables ----------------------------------------------------
+
+    /** Non-blocking: @p n ALU instructions. */
+    struct ComputeAwaiter
+    {
+        Core &core;
+        std::uint64_t n;
+
+        bool await_ready() const { return core.robHasSpace(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.suspendForSpace(h);
+        }
+
+        void await_resume() { core.addCompute(n); }
+    };
+
+    /** Non-blocking store of @p value to @p addr. */
+    struct StoreAwaiter
+    {
+        Core &core;
+        Addr addr;
+        std::uint64_t value;
+
+        bool await_ready() const { return core.robHasSpace(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.suspendForSpace(h);
+        }
+
+        void await_resume() { core.addStore(addr, value); }
+    };
+
+    /** Non-blocking load (data access whose value is not needed). */
+    struct LoadNbAwaiter
+    {
+        Core &core;
+        Addr addr;
+
+        bool await_ready() const { return core.robHasSpace(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.suspendForSpace(h);
+        }
+
+        void await_resume() { core.addNonBlockingLoad(addr); }
+    };
+
+    /** Blocking load: resumes with the loaded value. */
+    struct LoadAwaiter
+    {
+        Core &core;
+        Addr addr;
+        std::uint64_t result = 0;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.issueBlockingLoad(addr, h, &result);
+        }
+
+        std::uint64_t await_resume() const { return result; }
+    };
+
+    /** Atomic read-modify-write: resumes with the OLD value. */
+    struct RmwAwaiter
+    {
+        Core &core;
+        Addr addr;
+        std::function<std::uint64_t(std::uint64_t)> modify;
+        std::uint64_t result = 0;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.waitRmw(addr, std::move(modify), h, &result);
+        }
+
+        std::uint64_t await_resume() const { return result; }
+    };
+
+    /** Pause without retiring instructions (PAUSE/backoff). */
+    struct IdleAwaiter
+    {
+        Core &core;
+        sim::Tick cycles;
+
+        bool await_ready() const { return cycles == 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.waitIdle(cycles, h);
+        }
+
+        void await_resume() const {}
+    };
+
+    /** Full fence: resumes when the ROB and write buffer are empty. */
+    struct FenceAwaiter
+    {
+        Core &core;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.waitFence(h);
+        }
+
+        void await_resume() const {}
+    };
+
+    ComputeAwaiter compute(std::uint64_t n) { return {core_, n}; }
+
+    StoreAwaiter
+    store(Addr addr, std::uint64_t value)
+    {
+        return {core_, addr, value};
+    }
+
+    LoadNbAwaiter loadNb(Addr addr) { return {core_, addr}; }
+
+    LoadAwaiter load(Addr addr) { return {core_, addr}; }
+
+    RmwAwaiter
+    rmw(Addr addr, std::function<std::uint64_t(std::uint64_t)> modify)
+    {
+        return {core_, addr, std::move(modify), 0};
+    }
+
+    /** Convenience: atomic fetch-and-add. */
+    RmwAwaiter
+    fetchAdd(Addr addr, std::uint64_t delta)
+    {
+        return rmw(addr, [delta](std::uint64_t v) { return v + delta; });
+    }
+
+    /** Convenience: atomic swap. */
+    RmwAwaiter
+    swap(Addr addr, std::uint64_t value)
+    {
+        return rmw(addr, [value](std::uint64_t) { return value; });
+    }
+
+    /**
+     * Convenience: compare-and-swap. Resumes with the OLD value
+     * (success iff it equals @p expect). A failed CAS performs no
+     * store -- under WiDir it does not broadcast anything.
+     */
+    RmwAwaiter
+    cas(Addr addr, std::uint64_t expect, std::uint64_t desired)
+    {
+        return rmw(addr, [expect, desired](std::uint64_t v) {
+            return v == expect ? desired : v;
+        });
+    }
+
+    IdleAwaiter idle(sim::Tick cycles) { return {core_, cycles}; }
+
+    FenceAwaiter fence() { return {core_}; }
+
+  private:
+    Core &core_;
+    std::uint32_t id_;
+    std::uint32_t numThreads_;
+};
+
+/** A per-thread program: invoked once per core with its Thread. */
+using Program = std::function<Task(Thread &)>;
+
+} // namespace widir::cpu
+
+#endif // WIDIR_CPU_THREAD_H

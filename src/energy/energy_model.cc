@@ -1,0 +1,44 @@
+#include "energy/energy_model.h"
+
+namespace widir::energy {
+
+EnergyBreakdown
+computeEnergy(const EnergyInputs &in, const EnergyParams &p)
+{
+    EnergyBreakdown out;
+    double cycles = static_cast<double>(in.cycles);
+    double tiles = static_cast<double>(in.numCores);
+
+    out.core = static_cast<double>(in.instructions) * p.corePerInstr +
+               cycles * tiles * p.coreStaticPerCycle;
+
+    out.l1 = static_cast<double>(in.l1Accesses) * p.l1PerAccess +
+             cycles * tiles * p.l1StaticPerCycle;
+
+    out.l2dir =
+        static_cast<double>(in.l2Accesses) * p.l2PerAccess +
+        static_cast<double>(in.l2DataAccesses) * p.l2PerDataAccess +
+        cycles * tiles * p.l2StaticPerCycle;
+
+    out.noc =
+        static_cast<double>(in.routerTraversals) * p.routerPerTraversal +
+        static_cast<double>(in.flitHops) * p.linkPerFlitHop +
+        cycles * tiles * p.nocStaticPerCycle;
+
+    if (in.wnocPresent) {
+        double busy = static_cast<double>(in.wnocBusyCycles);
+        // During a busy cycle one node transmits and the others
+        // receive; otherwise every node sits in gated idle. Each
+        // successful frame pays the amplifier wake transient at the
+        // transmitter and every receiver.
+        out.wnoc = busy * p.wnocTxPerCycle +
+                   busy * (tiles - 1) * p.wnocRxPerCycle *
+                       p.wnocRxDutyFactor +
+                   (cycles * tiles - busy * tiles) * p.wnocIdlePerCycle +
+                   static_cast<double>(in.wnocFrames) * tiles *
+                       p.wnocGateTransient;
+    }
+    return out;
+}
+
+} // namespace widir::energy

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Address manipulation helpers: line/word extraction and static home
+ * mapping of lines to LLC/directory slices.
+ *
+ * The simulated machine uses 64-byte cache lines (Table III). The shared
+ * L2 (LLC) and its directory are physically distributed, one slice per
+ * tile; lines are interleaved across slices by line address, which is
+ * the standard static-NUCA mapping.
+ */
+
+#ifndef WIDIR_MEM_ADDRESS_H
+#define WIDIR_MEM_ADDRESS_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace widir::mem {
+
+using sim::Addr;
+using sim::NodeId;
+
+/** Cache line size in bytes (Table III). */
+inline constexpr std::uint32_t kLineBytes = 64;
+
+/** log2(kLineBytes). */
+inline constexpr std::uint32_t kLineShift = 6;
+
+/** Words (8 bytes) per cache line. */
+inline constexpr std::uint32_t kWordsPerLine = kLineBytes / 8;
+
+/** Address of the first byte of the line containing @p a. */
+inline constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line number (address >> 6) of @p a. */
+inline constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> kLineShift;
+}
+
+/** Index of the 8-byte word within its line. */
+inline constexpr std::uint32_t
+wordInLine(Addr a)
+{
+    return static_cast<std::uint32_t>((a >> 3) &
+                                      (kWordsPerLine - 1));
+}
+
+/** True if @p a is 8-byte aligned (all simulated accesses are). */
+inline constexpr bool
+wordAligned(Addr a)
+{
+    return (a & 7) == 0;
+}
+
+/**
+ * Home LLC/directory slice of a line: line-interleaved across nodes.
+ */
+inline constexpr NodeId
+homeNode(Addr a, std::uint32_t num_nodes)
+{
+    return static_cast<NodeId>(lineNumber(a) % num_nodes);
+}
+
+} // namespace widir::mem
+
+#endif // WIDIR_MEM_ADDRESS_H

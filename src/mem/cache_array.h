@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Set-associative cache array with LRU replacement.
+ *
+ * Used for both the private L1 data caches and the shared-LLC slices.
+ * The array stores, per line: the protocol state byte (interpreted by
+ * the owning controller), a dirty bit, the functional payload, and the
+ * WiDir UpdateCount / non-evictable bookkeeping described in Sections
+ * III-B2 and IV-C of the paper.
+ *
+ * Replacement honors a per-entry `locked` flag: entries that are mid
+ * transaction (or pinned by a wireless RMW) are never chosen as victims.
+ */
+
+#ifndef WIDIR_MEM_CACHE_ARRAY_H
+#define WIDIR_MEM_CACHE_ARRAY_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/address.h"
+#include "mem/line_data.h"
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace widir::mem {
+
+using sim::Tick;
+
+/** One cache frame (way) in the array. */
+struct CacheEntry
+{
+    Addr line = sim::kAddrNone; ///< line-aligned address
+    bool valid = false;
+    std::uint8_t state = 0;     ///< controller-defined protocol state
+    bool dirty = false;
+    /**
+     * WiDir: wireless updates received since the local core last touched
+     * the line (saturating; see UpdateCount, Section III-B2).
+     */
+    std::uint8_t updateCount = 0;
+    /**
+     * Entry may not be replaced: set while a transaction on the line is
+     * in flight, or while a wireless RMW has the line pinned (IV-C).
+     */
+    bool locked = false;
+    Tick lruStamp = 0;          ///< larger == more recently used
+    LineData data;
+};
+
+/** Set-associative, LRU, single-cycle-lookup cache array model. */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes    Total capacity.
+     * @param assoc         Ways per set.
+     * @param index_divisor Line numbers are divided by this before set
+     *                      indexing. A distributed LLC slice passes the
+     *                      node count so the home-interleaving bits do
+     *                      not alias every resident line into one set.
+     */
+    CacheArray(std::uint64_t size_bytes, std::uint32_t assoc,
+               std::uint64_t index_divisor = 1)
+        : assoc_(assoc),
+          numSets_(static_cast<std::uint32_t>(
+              size_bytes / (static_cast<std::uint64_t>(assoc) *
+                            kLineBytes))),
+          indexDivisor_(index_divisor)
+    {
+        WIDIR_ASSERT(indexDivisor_ > 0, "index divisor must be positive");
+        WIDIR_ASSERT(assoc_ > 0, "associativity must be positive");
+        WIDIR_ASSERT(numSets_ > 0, "cache must hold at least one set");
+        WIDIR_ASSERT((numSets_ & (numSets_ - 1)) == 0,
+                     "number of sets must be a power of two");
+        frames_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    }
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    /** Find the entry holding @p addr's line, or nullptr. */
+    CacheEntry *
+    lookup(Addr addr)
+    {
+        Addr line = lineAlign(addr);
+        auto [begin, end] = setRange(line);
+        for (std::size_t i = begin; i < end; ++i) {
+            if (frames_[i].valid && frames_[i].line == line)
+                return &frames_[i];
+        }
+        return nullptr;
+    }
+
+    const CacheEntry *
+    lookup(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->lookup(addr);
+    }
+
+    /** Mark @p e most recently used. */
+    void
+    touch(CacheEntry *e, Tick /* now */)
+    {
+        e->lruStamp = ++lruCounter_;
+    }
+
+    /**
+     * Choose a victim frame in @p addr's set: an invalid frame if one
+     * exists, else the least recently used unlocked frame.
+     * @return nullptr if every frame in the set is locked.
+     */
+    CacheEntry *
+    pickVictim(Addr addr)
+    {
+        Addr line = lineAlign(addr);
+        auto [begin, end] = setRange(line);
+        CacheEntry *victim = nullptr;
+        for (std::size_t i = begin; i < end; ++i) {
+            CacheEntry &f = frames_[i];
+            if (!f.valid)
+                return &f;
+            if (f.locked)
+                continue;
+            if (victim == nullptr || f.lruStamp < victim->lruStamp)
+                victim = &f;
+        }
+        return victim;
+    }
+
+    /**
+     * Install @p line into @p frame (which must belong to line's set),
+     * resetting all metadata. The caller handles any eviction of the
+     * previous occupant first.
+     */
+    void
+    fill(CacheEntry *frame, Addr line, std::uint8_t state,
+         const LineData &data)
+    {
+        frame->line = lineAlign(line);
+        frame->valid = true;
+        frame->state = state;
+        frame->dirty = false;
+        frame->updateCount = 0;
+        frame->locked = false;
+        frame->data = data;
+        frame->lruStamp = ++lruCounter_;
+    }
+
+    /** Invalidate @p frame. */
+    void
+    invalidate(CacheEntry *frame)
+    {
+        frame->valid = false;
+        frame->line = sim::kAddrNone;
+        frame->state = 0;
+        frame->dirty = false;
+        frame->updateCount = 0;
+        frame->locked = false;
+    }
+
+    /** Visit every valid entry (for checkers, flushes and reports). */
+    void
+    forEach(const std::function<void(CacheEntry &)> &fn)
+    {
+        for (auto &f : frames_) {
+            if (f.valid)
+                fn(f);
+        }
+    }
+
+    /** Count of valid entries. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &f : frames_) {
+            if (f.valid)
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    /** [first, last) frame indices of the set for @p line. */
+    std::pair<std::size_t, std::size_t>
+    setRange(Addr line) const
+    {
+        std::uint32_t set = static_cast<std::uint32_t>(
+            (lineNumber(line) / indexDivisor_) & (numSets_ - 1));
+        std::size_t begin = static_cast<std::size_t>(set) * assoc_;
+        return {begin, begin + assoc_};
+    }
+
+    std::uint32_t assoc_;
+    std::uint32_t numSets_;
+    std::uint64_t indexDivisor_;
+    std::vector<CacheEntry> frames_;
+    std::uint64_t lruCounter_ = 0;
+};
+
+} // namespace widir::mem
+
+#endif // WIDIR_MEM_CACHE_ARRAY_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Miss Status Holding Registers.
+ *
+ * An MshrFile tracks the lines with an outstanding coherence
+ * transaction at a controller and coalesces additional requests to the
+ * same line while the first is in flight. Each entry carries opaque
+ * 64-bit tokens chosen by the owner (the cpu model uses ROB op ids).
+ */
+
+#ifndef WIDIR_MEM_MSHR_H
+#define WIDIR_MEM_MSHR_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address.h"
+#include "sim/log.h"
+
+namespace widir::mem {
+
+/** One outstanding-miss record. */
+struct MshrEntry
+{
+    Addr line = sim::kAddrNone;
+    bool isWrite = false;        ///< strongest request type so far
+    std::vector<std::uint64_t> waiters; ///< coalesced op tokens
+};
+
+/** Fixed-capacity file of MshrEntry keyed by line address. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::size_t capacity) : capacity_(capacity) {}
+
+    /** Entry for @p addr's line, or nullptr if none outstanding. */
+    MshrEntry *
+    find(Addr addr)
+    {
+        auto it = entries_.find(lineAlign(addr));
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Allocate an entry for @p addr's line.
+     * Caller must ensure no entry exists and the file is not full.
+     */
+    MshrEntry &
+    allocate(Addr addr, bool is_write)
+    {
+        Addr line = lineAlign(addr);
+        WIDIR_ASSERT(!full(), "MSHR overflow");
+        auto [it, inserted] = entries_.try_emplace(line);
+        WIDIR_ASSERT(inserted, "duplicate MSHR allocation");
+        it->second.line = line;
+        it->second.isWrite = is_write;
+        return it->second;
+    }
+
+    /**
+     * Remove the entry for @p addr's line and return its waiter tokens.
+     */
+    std::vector<std::uint64_t>
+    release(Addr addr)
+    {
+        auto it = entries_.find(lineAlign(addr));
+        WIDIR_ASSERT(it != entries_.end(), "releasing unknown MSHR");
+        std::vector<std::uint64_t> waiters =
+            std::move(it->second.waiters);
+        entries_.erase(it);
+        return waiters;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, MshrEntry> entries_;
+};
+
+} // namespace widir::mem
+
+#endif // WIDIR_MEM_MSHR_H

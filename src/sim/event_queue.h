@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The discrete-event core of the simulator.
+ *
+ * An EventQueue holds closures ordered by (tick, insertion sequence).
+ * The secondary sequence key makes execution order total and therefore
+ * deterministic: two events scheduled for the same tick run in the order
+ * they were scheduled.
+ */
+
+#ifndef WIDIR_SIM_EVENT_QUEUE_H
+#define WIDIR_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/types.h"
+
+namespace widir::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Priority queue of timestamped events with deterministic same-tick
+ * ordering.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void
+    scheduleAt(Tick when, EventFn fn)
+    {
+        WIDIR_ASSERT(when >= now_,
+                     "event scheduled in the past (%llu < %llu)",
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(now_));
+        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    schedule(Tick delay, EventFn fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Execute the next event (advancing time to its tick).
+     * @return false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the closure out before popping so the entry can be
+        // destroyed safely even if the callback schedules new events.
+        Entry top = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = top.when;
+        ++executed_;
+        top.fn();
+        return true;
+    }
+
+    /**
+     * Run until the queue drains or @p limit ticks is exceeded.
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool
+    run(Tick limit = kTickNever)
+    {
+        while (!heap_.empty()) {
+            if (heap_.top().when > limit)
+                return false;
+            step();
+        }
+        return true;
+    }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace widir::sim
+
+#endif // WIDIR_SIM_EVENT_QUEUE_H

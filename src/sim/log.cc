@@ -1,0 +1,109 @@
+#include "sim/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace widir::sim {
+
+namespace {
+LogLevel g_threshold = LogLevel::Warn;
+
+void
+emit(LogLevel level, const char *tag, const char *fmt, std::va_list ap)
+{
+    if (level < g_threshold)
+        return;
+    std::string body = vstrfmt(fmt, ap);
+    std::fprintf(stderr, "%s: %s\n", tag, body.c_str());
+}
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+LogLevel
+setLogThreshold(LogLevel level)
+{
+    LogLevel prev = g_threshold;
+    g_threshold = level;
+    return prev;
+}
+
+std::string
+vstrfmt(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n <= 0)
+        return std::string();
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Info, "info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Debug, "debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Warn, "warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string body = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", body.c_str());
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string body = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", body.c_str());
+    std::abort();
+}
+
+} // namespace widir::sim

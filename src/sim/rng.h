@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic decision in the simulator (exponential backoff jitter,
+ * workload address streams, replacement tie-breaks) draws from an Rng
+ * stream seeded from the experiment seed plus a stable stream id, so a
+ * run is a pure function of (configuration, seed).
+ *
+ * The generator is xoshiro256**, which is small, fast, and has 256 bits
+ * of state -- plenty for simulation purposes.
+ */
+
+#ifndef WIDIR_SIM_RNG_H
+#define WIDIR_SIM_RNG_H
+
+#include <cstdint>
+
+namespace widir::sim {
+
+/** xoshiro256** pseudo-random generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct a stream from a seed and a stream id. */
+    explicit Rng(std::uint64_t seed = 1, std::uint64_t stream = 0)
+    {
+        // splitmix64 over (seed, stream) to fill the state.
+        std::uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL
+                                  + 0xbf58476d1ce4e5b9ULL);
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+        // Avoid the all-zero state (cannot occur with splitmix64, but
+        // keep the invariant explicit).
+        if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+            state_[0] = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free-ish reduction; the bias
+        // is negligible for simulation bounds (<< 2^32).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace widir::sim
+
+#endif // WIDIR_SIM_RNG_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Simulator: the top-level driver that owns the event queue, the root
+ * random seed, and a forward-progress watchdog.
+ *
+ * Components receive a Simulator& at construction, schedule events
+ * through it, and derive their private Rng streams from it.
+ */
+
+#ifndef WIDIR_SIM_SIMULATOR_H
+#define WIDIR_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace widir::sim {
+
+/** Top-level discrete-event simulation driver. */
+class Simulator
+{
+  public:
+    /**
+     * @param seed Root seed. Every derived Rng stream mixes this with a
+     *             caller-chosen stream id.
+     */
+    explicit Simulator(std::uint64_t seed = 1) : seed_(seed) {}
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** The event queue all components schedule into. */
+    EventQueue &queue() { return queue_; }
+
+    /** Current simulated cycle. */
+    Tick now() const { return queue_.now(); }
+
+    /** Root seed of this run. */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Derive an independent random stream. Stream ids should be stable
+     * across runs (e.g. node id, or a small enum) for reproducibility.
+     */
+    Rng
+    makeRng(std::uint64_t stream) const
+    {
+        return Rng(seed_, stream);
+    }
+
+    /** Convenience: schedule @p fn @p delay cycles from now. */
+    void
+    schedule(Tick delay, EventFn fn)
+    {
+        queue_.schedule(delay, std::move(fn));
+    }
+
+    /** Convenience: schedule @p fn at absolute cycle @p when. */
+    void
+    scheduleAt(Tick when, EventFn fn)
+    {
+        queue_.scheduleAt(when, std::move(fn));
+    }
+
+    /**
+     * Run until the event queue drains or @p limit is reached.
+     *
+     * A drained queue means the simulated system is quiescent: in a
+     * full-system run, all thread programs have completed and all
+     * in-flight protocol transactions have settled.
+     *
+     * @return true if the queue drained within the limit.
+     */
+    bool
+    run(Tick limit = kTickNever)
+    {
+        return queue_.run(limit);
+    }
+
+    /**
+     * Run, treating hitting @p limit as a hang (deadlock/livelock) and
+     * calling fatal() with @p what. Used by full-system experiments as a
+     * watchdog.
+     */
+    void
+    runOrDie(Tick limit, const std::string &what)
+    {
+        if (!run(limit)) {
+            fatal("watchdog: '%s' did not quiesce within %llu cycles "
+                  "(likely protocol deadlock/livelock)",
+                  what.c_str(), static_cast<unsigned long long>(limit));
+        }
+    }
+
+  private:
+    EventQueue queue_;
+    std::uint64_t seed_;
+};
+
+} // namespace widir::sim
+
+#endif // WIDIR_SIM_SIMULATOR_H

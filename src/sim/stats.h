@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Lightweight statistics containers.
+ *
+ * Components own their counters/histograms directly (no global registry
+ * indirection); the system layer aggregates them into reports. The
+ * containers here keep the arithmetic (means, distributions, binning)
+ * in one audited place.
+ */
+
+#ifndef WIDIR_SIM_STATS_H
+#define WIDIR_SIM_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace widir::sim {
+
+/** Running scalar average (count / sum / mean). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Histogram over user-defined, contiguous, inclusive integer bins.
+ *
+ * The paper reports several binned distributions (Fig. 5 sharer counts,
+ * Table V hop counts); BinnedHistogram reproduces that reporting style.
+ * Samples above the last bin's upper bound are clamped into the last
+ * bin; this matches "50+"-style open-ended top bins.
+ */
+class BinnedHistogram
+{
+  public:
+    struct Bin
+    {
+        std::uint64_t lo;
+        std::uint64_t hi; // inclusive
+        std::uint64_t count = 0;
+    };
+
+    /**
+     * Build from inclusive upper bounds; e.g. {5, 10, 25, 49} with
+     * openTop=true yields bins [0,5], [6,10], [11,25], [26,49], [50,inf).
+     */
+    explicit BinnedHistogram(const std::vector<std::uint64_t> &upper_bounds,
+                             bool open_top = true)
+    {
+        std::uint64_t lo = 0;
+        for (std::uint64_t hi : upper_bounds) {
+            WIDIR_ASSERT(hi >= lo, "histogram bounds must be increasing");
+            bins_.push_back(Bin{lo, hi, 0});
+            lo = hi + 1;
+        }
+        if (open_top)
+            bins_.push_back(Bin{lo, UINT64_MAX, 0});
+        WIDIR_ASSERT(!bins_.empty(), "histogram needs at least one bin");
+    }
+
+    void
+    sample(std::uint64_t v, std::uint64_t weight = 1)
+    {
+        total_ += weight;
+        weighted_sum_ += v * weight;
+        for (auto &bin : bins_) {
+            if (v >= bin.lo && v <= bin.hi) {
+                bin.count += weight;
+                return;
+            }
+        }
+        bins_.back().count += weight; // clamp above the top bound
+    }
+
+    const std::vector<Bin> &bins() const { return bins_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Mean of all samples (unbinned). */
+    double
+    mean() const
+    {
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(weighted_sum_) /
+                  static_cast<double>(total_);
+    }
+
+    /** Fraction of samples falling in bin @p i. */
+    double
+    fraction(std::size_t i) const
+    {
+        WIDIR_ASSERT(i < bins_.size(), "bin index out of range");
+        return total_ == 0
+            ? 0.0
+            : static_cast<double>(bins_[i].count) /
+                  static_cast<double>(total_);
+    }
+
+    void
+    reset()
+    {
+        for (auto &bin : bins_)
+            bin.count = 0;
+        total_ = 0;
+        weighted_sum_ = 0;
+    }
+
+  private:
+    std::vector<Bin> bins_;
+    std::uint64_t total_ = 0;
+    std::uint64_t weighted_sum_ = 0;
+};
+
+/** Full-resolution distribution: keeps min/max/mean plus percentiles. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        values_.push_back(v);
+    }
+
+    std::uint64_t count() const { return values_.size(); }
+
+    double
+    mean() const
+    {
+        if (values_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double v : values_)
+            s += v;
+        return s / static_cast<double>(values_.size());
+    }
+
+    double
+    percentile(double p) const
+    {
+        WIDIR_ASSERT(p >= 0.0 && p <= 1.0, "percentile must be in [0,1]");
+        if (values_.empty())
+            return 0.0;
+        std::vector<double> sorted = values_;
+        std::sort(sorted.begin(), sorted.end());
+        auto idx = static_cast<std::size_t>(
+            p * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(idx, sorted.size() - 1)];
+    }
+
+    double min() const { return percentile(0.0); }
+    double max() const { return percentile(1.0); }
+
+    void reset() { values_.clear(); }
+
+  private:
+    std::vector<double> values_;
+};
+
+} // namespace widir::sim
+
+#endif // WIDIR_SIM_STATS_H

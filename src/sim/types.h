@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef WIDIR_SIM_TYPES_H
+#define WIDIR_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace widir::sim {
+
+/** Simulated time, in core clock cycles (the chip runs at 1 GHz). */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+inline constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Identifier of a node (tile) in the manycore. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kNodeNone = std::numeric_limits<NodeId>::max();
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kAddrNone = std::numeric_limits<Addr>::max();
+
+} // namespace widir::sim
+
+#endif // WIDIR_SIM_TYPES_H

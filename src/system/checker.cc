@@ -1,0 +1,216 @@
+#include "system/checker.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/log.h"
+#include "system/manycore.h"
+
+namespace widir::sys {
+
+using coherence::DirState;
+using coherence::L1State;
+using sim::Addr;
+using sim::NodeId;
+
+namespace {
+
+struct LineView
+{
+    std::vector<NodeId> holdersS;
+    std::vector<NodeId> holdersE;
+    std::vector<NodeId> holdersM;
+    std::vector<NodeId> holdersW;
+    std::map<NodeId, mem::LineData> data;
+};
+
+} // namespace
+
+std::vector<std::string>
+checkCoherence(Manycore &m)
+{
+    std::vector<std::string> bad;
+    auto complain = [&bad](std::string s) { bad.push_back(std::move(s)); };
+
+    // Gather every cached line.
+    std::map<Addr, LineView> lines;
+    for (NodeId n = 0; n < m.numCores(); ++n) {
+        m.l1(n).array().forEach([&](mem::CacheEntry &e) {
+            LineView &view = lines[e.line];
+            switch (static_cast<L1State>(e.state)) {
+              case L1State::S: view.holdersS.push_back(n); break;
+              case L1State::E: view.holdersE.push_back(n); break;
+              case L1State::M: view.holdersM.push_back(n); break;
+              case L1State::W: view.holdersW.push_back(n); break;
+              case L1State::I: return;
+            }
+            view.data[n] = e.data;
+            if (e.locked) {
+                complain(sim::strfmt(
+                    "node %u: line %#llx still locked at quiescence", n,
+                    static_cast<unsigned long long>(e.line)));
+            }
+        });
+        if (m.l1(n).stats().loads + 1 == 0) // keep -Wunused quiet
+            return bad;
+    }
+
+    for (auto &[line, view] : lines) {
+        NodeId home = m.fabric().homeOf(line);
+        auto &dir = m.dir(home);
+        const auto *entry = dir.entryOf(line);
+        auto *llc = dir.llc().lookup(line);
+        std::size_t exclusive =
+            view.holdersE.size() + view.holdersM.size();
+
+        if (dir.busy(line)) {
+            complain(sim::strfmt(
+                "line %#llx: directory transaction still in flight "
+                "at quiescence",
+                static_cast<unsigned long long>(line)));
+            continue;
+        }
+
+        // SWMR.
+        if (exclusive > 1 ||
+            (exclusive == 1 &&
+             (!view.holdersS.empty() || !view.holdersW.empty()))) {
+            complain(sim::strfmt(
+                "line %#llx: SWMR violated (%zu E, %zu M, %zu S, %zu W)",
+                static_cast<unsigned long long>(line),
+                view.holdersE.size(), view.holdersM.size(),
+                view.holdersS.size(), view.holdersW.size()));
+            continue;
+        }
+        if (!view.holdersS.empty() && !view.holdersW.empty()) {
+            complain(sim::strfmt(
+                "line %#llx: mixed S and W copies",
+                static_cast<unsigned long long>(line)));
+        }
+
+        if (!entry || !llc) {
+            complain(sim::strfmt(
+                "line %#llx: cached copies but no home directory entry",
+                static_cast<unsigned long long>(line)));
+            continue;
+        }
+
+        switch (entry->state) {
+          case DirState::EM: {
+            if (exclusive != 1) {
+                complain(sim::strfmt(
+                    "line %#llx: dir EM but %zu exclusive copies",
+                    static_cast<unsigned long long>(line), exclusive));
+                break;
+            }
+            NodeId owner = view.holdersE.empty() ? view.holdersM[0]
+                                                 : view.holdersE[0];
+            if (entry->owner != owner) {
+                complain(sim::strfmt(
+                    "line %#llx: dir owner %u but cached owner %u",
+                    static_cast<unsigned long long>(line), entry->owner,
+                    owner));
+            }
+            break;
+          }
+          case DirState::S: {
+            if (exclusive != 0 || !view.holdersW.empty()) {
+                complain(sim::strfmt(
+                    "line %#llx: dir S but non-S copies exist",
+                    static_cast<unsigned long long>(line)));
+                break;
+            }
+            if (!entry->bcast) {
+                // Pointers must cover every actual sharer. (A pointer
+                // may be stale-present for a copy evicted with a PutS
+                // still in flight -- but at quiescence nothing is in
+                // flight.)
+                for (NodeId n : view.holdersS) {
+                    if (std::find(entry->sharers.begin(),
+                                  entry->sharers.end(),
+                                  n) == entry->sharers.end()) {
+                        complain(sim::strfmt(
+                            "line %#llx: sharer %u missing from "
+                            "directory pointers",
+                            static_cast<unsigned long long>(line), n));
+                    }
+                }
+            }
+            // Data agreement: S copies equal the LLC copy.
+            for (NodeId n : view.holdersS) {
+                if (!(view.data[n] == llc->data)) {
+                    complain(sim::strfmt(
+                        "line %#llx: S copy at %u differs from LLC",
+                        static_cast<unsigned long long>(line), n));
+                }
+            }
+            break;
+          }
+          case DirState::W: {
+            if (exclusive != 0 || !view.holdersS.empty()) {
+                complain(sim::strfmt(
+                    "line %#llx: dir W but wired copies exist",
+                    static_cast<unsigned long long>(line)));
+                break;
+            }
+            if (entry->sharerCount != view.holdersW.size()) {
+                complain(sim::strfmt(
+                    "line %#llx: SharerCount %u but %zu W copies",
+                    static_cast<unsigned long long>(line),
+                    entry->sharerCount, view.holdersW.size()));
+            }
+            for (NodeId n : view.holdersW) {
+                if (!(view.data[n] == llc->data)) {
+                    complain(sim::strfmt(
+                        "line %#llx: W copy at %u differs from LLC",
+                        static_cast<unsigned long long>(line), n));
+                }
+            }
+            break;
+          }
+          case DirState::I:
+            complain(sim::strfmt(
+                "line %#llx: cached copies but directory says I",
+                static_cast<unsigned long long>(line)));
+            break;
+        }
+    }
+
+    // Clean LLC lines must agree with memory; and W/EM/S entries with
+    // no corresponding cached copies are stale metadata.
+    for (NodeId n = 0; n < m.numCores(); ++n) {
+        m.dir(n).llc().forEach([&](mem::CacheEntry &e) {
+            if (!e.dirty) {
+                if (!(m.memory().peekLine(e.line) == e.data)) {
+                    complain(sim::strfmt(
+                        "line %#llx: clean LLC copy at node %u differs "
+                        "from memory",
+                        static_cast<unsigned long long>(e.line), n));
+                }
+            }
+            const auto *entry = m.dir(n).entryOf(e.line);
+            if (!entry) {
+                complain(sim::strfmt(
+                    "line %#llx: LLC entry without directory entry",
+                    static_cast<unsigned long long>(e.line)));
+                return;
+            }
+            // A Dir_3_B entry with the broadcast bit set cannot track
+            // evictions, so S+bcast may legitimately outlive every
+            // cached copy (the next write broadcast-invalidates and
+            // re-establishes precision).
+            bool imprecise = entry->state == DirState::S && entry->bcast;
+            if (entry->state != DirState::I && !imprecise &&
+                lines.find(e.line) == lines.end()) {
+                complain(sim::strfmt(
+                    "line %#llx: directory %s but no cached copies",
+                    static_cast<unsigned long long>(e.line),
+                    coherence::dirStateName(entry->state)));
+            }
+        });
+    }
+
+    return bad;
+}
+
+} // namespace widir::sys

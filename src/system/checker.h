@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Whole-machine coherence invariant checker.
+ *
+ * Run at quiescence (no in-flight transactions), it validates the
+ * classic directory-protocol invariants plus the WiDir-specific ones:
+ *
+ *  - SWMR: a line with an M or E copy has exactly one cached copy.
+ *  - Directory/cache agreement: EM entries name the actual owner;
+ *    S entries' pointers cover the actual sharers (exactly, when the
+ *    broadcast bit is clear); W entries' SharerCount equals the number
+ *    of caches holding the line in W.
+ *  - Data-value agreement: S and W copies are identical to the home
+ *    LLC copy; a clean LLC copy matches memory.
+ *  - No stranded transactions or locked frames.
+ */
+
+#ifndef WIDIR_SYSTEM_CHECKER_H
+#define WIDIR_SYSTEM_CHECKER_H
+
+#include <string>
+#include <vector>
+
+namespace widir::sys {
+
+class Manycore;
+
+/**
+ * Check all invariants; returns human-readable violation descriptions
+ * (empty == coherent).
+ */
+std::vector<std::string> checkCoherence(Manycore &machine);
+
+} // namespace widir::sys
+
+#endif // WIDIR_SYSTEM_CHECKER_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * ExperimentRunner: run one (application, protocol, core count)
+ * configuration and collect every metric the paper's evaluation
+ * reports -- execution time with its memory-stall split (Fig. 8),
+ * MPKI split by reads/writes (Fig. 6), memory-operation latency
+ * (Fig. 7), the hops-per-leg histogram (Table V), the
+ * sharers-updated-per-wireless-write histogram (Fig. 5), the wireless
+ * collision probability (Table VI), and the energy breakdown
+ * (Fig. 9).
+ */
+
+#ifndef WIDIR_SYSTEM_EXPERIMENT_H
+#define WIDIR_SYSTEM_EXPERIMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol_config.h"
+#include "energy/energy_model.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+#include "workload/params.h"
+#include "workload/registry.h"
+
+namespace widir::sys {
+
+/** Everything measured in one run. */
+struct ExperimentResult
+{
+    std::string app;
+    coherence::Protocol protocol;
+    std::uint32_t cores = 0;
+    std::uint64_t seed = 0;
+
+    sim::Tick cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    /// @name Fig. 6: misses per kilo-instruction
+    /// @{
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+    double mpki() const;
+    double readMpki() const;
+    double writeMpki() const;
+    /// @}
+
+    /// @name Fig. 8: cycle breakdown (summed over cores)
+    /// @{
+    std::uint64_t memStallCycles = 0;
+    std::uint64_t totalCoreCycles = 0; ///< cycles x cores
+    double memStallFraction() const;
+    /// @}
+
+    /// @name Fig. 7: memory-op latency (ROB entry -> retire)
+    /// @{
+    std::uint64_t loadLatencySum = 0;
+    std::uint64_t storeLatencySum = 0;
+    /// @}
+
+    /// @name Table V: wired hops per message leg
+    /// @{
+    std::vector<std::uint64_t> hopBinCounts; ///< 0-2,3-5,6-8,9-11,12-16
+    std::uint64_t wiredMessages = 0;
+    /// @}
+
+    /// @name Fig. 5 / Table VI: wireless behaviour
+    /// @{
+    std::vector<std::uint64_t> sharersUpdatedBins; ///< <=5,...,50+
+    std::uint64_t wirelessWrites = 0;
+    double collisionProbability = 0.0;
+    std::uint64_t toWireless = 0;
+    std::uint64_t toShared = 0;
+    /// @}
+
+    /// @name Fig. 9: energy
+    /// @{
+    energy::EnergyBreakdown energy;
+    /// @}
+};
+
+/** One experiment configuration. */
+struct ExperimentSpec
+{
+    const workload::AppInfo *app = nullptr;
+    coherence::Protocol protocol = coherence::Protocol::BaselineMESI;
+    std::uint32_t cores = 64;
+    std::uint32_t scale = 1;
+    std::uint64_t seed = 1;
+    std::uint32_t maxWiredSharers = 3; ///< Table VI sweeps this
+};
+
+/** Run one configuration to completion and gather the metrics. */
+ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Bench sizing: reads WIDIR_BENCH_SCALE from the environment
+ * (default @p fallback) so the full suite can be run small or large.
+ */
+std::uint32_t benchScale(std::uint32_t fallback = 1);
+
+} // namespace widir::sys
+
+#endif // WIDIR_SYSTEM_EXPERIMENT_H

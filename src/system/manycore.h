@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Manycore: assembles a full simulated machine (Fig. 2 of the paper):
+ * per tile an OoO core, a private L1 + coherence controller, an LLC
+ * slice + directory controller, a mesh router port, and -- for WiDir --
+ * a transceiver on the shared wireless data/tone channels.
+ *
+ * The system layer also owns run orchestration: start one thread
+ * program per core, run to quiescence, and collect the statistics the
+ * paper's evaluation reports.
+ */
+
+#ifndef WIDIR_SYSTEM_MANYCORE_H
+#define WIDIR_SYSTEM_MANYCORE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/directory_controller.h"
+#include "core/fabric.h"
+#include "core/l1_controller.h"
+#include "core/protocol_config.h"
+#include "cpu/core.h"
+#include "cpu/task.h"
+#include "cpu/thread.h"
+#include "mem/main_memory.h"
+#include "noc/mesh.h"
+#include "sim/simulator.h"
+#include "wireless/data_channel.h"
+#include "wireless/tone_channel.h"
+
+namespace widir::sys {
+
+/** Full-machine configuration (Table III defaults). */
+struct SystemConfig
+{
+    std::uint32_t numCores = 64;
+    std::uint64_t seed = 1;
+    coherence::ProtocolConfig protocol;
+    cpu::CoreConfig core;
+    coherence::L1Controller::CacheConfig l1;
+    coherence::DirectoryController::LlcConfig llc;
+    noc::MeshConfig mesh;          ///< numNodes overridden by numCores
+    wireless::DataChannelConfig wnoc; ///< numNodes overridden too
+    mem::MainMemory::Config memory;
+
+    /** Convenience: baseline (wired-only MESI Dir_3_B) machine. */
+    static SystemConfig
+    baseline(std::uint32_t cores = 64)
+    {
+        SystemConfig cfg;
+        cfg.numCores = cores;
+        cfg.protocol.protocol = coherence::Protocol::BaselineMESI;
+        return cfg;
+    }
+
+    /** Convenience: WiDir machine. */
+    static SystemConfig
+    widir(std::uint32_t cores = 64)
+    {
+        SystemConfig cfg;
+        cfg.numCores = cores;
+        cfg.protocol.protocol = coherence::Protocol::WiDir;
+        return cfg;
+    }
+};
+
+/** A thread program: one coroutine body per core. */
+using Program = cpu::Program;
+
+/** One assembled machine instance. */
+class Manycore
+{
+  public:
+    explicit Manycore(const SystemConfig &cfg);
+    ~Manycore();
+
+    Manycore(const Manycore &) = delete;
+    Manycore &operator=(const Manycore &) = delete;
+
+    const SystemConfig &config() const { return cfg_; }
+    sim::Simulator &simulator() { return *sim_; }
+    noc::Mesh &mesh() { return *mesh_; }
+    mem::MainMemory &memory() { return *memory_; }
+    wireless::DataChannel *dataChannel() { return dataChannel_.get(); }
+    wireless::ToneChannel *toneChannel() { return toneChannel_.get(); }
+    coherence::CoherenceFabric &fabric() { return *fabric_; }
+
+    coherence::L1Controller &l1(sim::NodeId n) { return *l1s_.at(n); }
+    coherence::DirectoryController &dir(sim::NodeId n)
+    {
+        return *dirs_.at(n);
+    }
+    cpu::Core &core(sim::NodeId n) { return *cores_.at(n); }
+    std::uint32_t numCores() const { return cfg_.numCores; }
+
+    /**
+     * Run @p program on every core (thread id == core id) until all
+     * cores finish and the machine quiesces.
+     *
+     * @param watchdog_cycles fatal() if the machine has not quiesced
+     *        by this simulated cycle (protocol hang detector).
+     * @return execution time in cycles (max over cores).
+     */
+    sim::Tick run(const Program &program,
+                  sim::Tick watchdog_cycles = 500'000'000);
+
+    /// @name Aggregate statistics (summed over tiles)
+    /// @{
+    cpu::Core::Stats cpuTotals() const;
+    coherence::L1Controller::Stats l1Totals() const;
+    coherence::DirectoryController::Stats dirTotals() const;
+    /** Fig. 5 histogram merged over all home slices. */
+    sim::BinnedHistogram sharersUpdatedTotals() const;
+    /// @}
+
+  private:
+    SystemConfig cfg_;
+    std::unique_ptr<sim::Simulator> sim_;
+    std::unique_ptr<noc::Mesh> mesh_;
+    std::unique_ptr<mem::MainMemory> memory_;
+    std::unique_ptr<wireless::DataChannel> dataChannel_;
+    std::unique_ptr<wireless::ToneChannel> toneChannel_;
+    std::unique_ptr<coherence::CoherenceFabric> fabric_;
+    std::vector<std::unique_ptr<coherence::DirectoryController>> dirs_;
+    std::vector<std::unique_ptr<coherence::L1Controller>> l1s_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+};
+
+} // namespace widir::sys
+
+#endif // WIDIR_SYSTEM_MANYCORE_H

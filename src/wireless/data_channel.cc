@@ -1,0 +1,266 @@
+#include "wireless/data_channel.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+#include <cstdio>
+
+namespace widir::wireless {
+
+const char *
+frameKindName(FrameKind kind)
+{
+    switch (kind) {
+      case FrameKind::WirUpd:    return "WirUpd";
+      case FrameKind::BrWirUpgr: return "BrWirUpgr";
+      case FrameKind::WirDwgr:   return "WirDwgr";
+      case FrameKind::WirInv:    return "WirInv";
+    }
+    return "?";
+}
+
+DataChannel::DataChannel(Simulator &sim, const DataChannelConfig &cfg)
+    : sim_(sim), cfg_(cfg), rng_(sim.makeRng(0x57a7e1e55ULL)),
+      receivers_(cfg.numNodes)
+{
+    WIDIR_ASSERT(cfg_.commitOffset <= frameCycles(),
+                 "commit point must be inside the frame");
+}
+
+void
+DataChannel::setReceiver(sim::NodeId n, RxHandler handler)
+{
+    WIDIR_ASSERT(n < receivers_.size(), "receiver id out of range");
+    receivers_[n] = std::move(handler);
+}
+
+std::uint64_t
+DataChannel::signature(sim::Addr line) const
+{
+    std::uint64_t mask = (cfg_.jamAddrBits >= 64)
+        ? ~0ULL
+        : ((1ULL << cfg_.jamAddrBits) - 1);
+    return mem::lineNumber(line) & mask;
+}
+
+std::uint64_t
+DataChannel::transmit(const Frame &frame, std::function<void()> on_commit)
+{
+    WIDIR_ASSERT(frame.src < cfg_.numNodes,
+                 "frame source out of range");
+    PendingTx tx;
+    tx.token = nextToken_++;
+    tx.frame = frame;
+    tx.readyAt = sim_.now();
+    tx.onCommit = std::move(on_commit);
+    pending_.push_back(std::move(tx));
+    scheduleEval();
+    return pending_.back().token;
+}
+
+bool
+DataChannel::cancelPending(std::uint64_t token)
+{
+    for (auto &tx : pending_) {
+        if (tx.token == token && !tx.cancelled) {
+            tx.cancelled = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+JamId
+DataChannel::startJamming(sim::NodeId owner, sim::Addr line)
+{
+    JamFilter filter;
+    filter.id = nextJamId_++;
+    filter.owner = owner;
+    filter.maskedLine = signature(line);
+    jams_.push_back(filter);
+    return filter.id;
+}
+
+void
+DataChannel::stopJamming(JamId id)
+{
+    auto it = std::find_if(jams_.begin(), jams_.end(),
+                           [id](const JamFilter &f) {
+                               return f.id == id;
+                           });
+    WIDIR_ASSERT(it != jams_.end(), "stopping unknown jam filter");
+    jams_.erase(it);
+    // Jammed senders are parked in back-off and will retry on their
+    // own; nothing to kick here.
+}
+
+bool
+DataChannel::jammedBy(const PendingTx &tx) const
+{
+    // Jamming exists to stop *updates* to a line the directory is
+    // operating on (Section III-C1); directory-originated control
+    // frames (BrWirUpgr/WirDwgr/WirInv) are never jammed. No sender is
+    // exempt: the core co-located with the jamming directory must be
+    // blocked like any other.
+    if (tx.frame.kind != FrameKind::WirUpd)
+        return false;
+    std::uint64_t sig = signature(tx.frame.lineAddr);
+    for (const auto &f : jams_) {
+        if (f.maskedLine == sig)
+            return true;
+    }
+    return false;
+}
+
+void
+DataChannel::scheduleEval()
+{
+    // Find the earliest instant an arbitration could do anything.
+    if (pending_.empty())
+        return;
+    Tick earliest = sim::kTickNever;
+    for (const auto &tx : pending_) {
+        if (!tx.cancelled)
+            earliest = std::min(earliest, tx.readyAt);
+    }
+    if (earliest == sim::kTickNever)
+        return;
+    earliest = std::max({earliest, busyUntil_, sim_.now()});
+    if (evalScheduled_ && evalAt_ <= earliest)
+        return;
+    evalScheduled_ = true;
+    evalAt_ = earliest;
+    sim_.scheduleAt(earliest, [this, when = earliest] {
+        if (evalAt_ == when)
+            evalScheduled_ = false;
+        evaluate();
+    });
+}
+
+void
+DataChannel::evaluate()
+{
+    Tick now = sim_.now();
+    // A delivery event for this very tick has not run yet (it carries
+    // an older event sequence number): re-queue behind it so receivers
+    // observe the previous frame before anyone starts a new one.
+    if (deliveryPending_ && deliveryAt_ == now) {
+        sim_.scheduleAt(now, [this] { evaluate(); });
+        return;
+    }
+    // Drop cancelled entries lazily.
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [](const PendingTx &tx) {
+                                      return tx.cancelled;
+                                  }),
+                   pending_.end());
+    if (pending_.empty())
+        return;
+    if (busyUntil_ > now) {
+        // Non-persistent carrier sense: stations that found the medium
+        // busy re-sense after it frees with a small random stagger.
+        // Re-sensing at exactly busyUntil_ would make every deferred
+        // station start together and collide deterministically after
+        // each frame (CSMA collapse under bursts).
+        for (auto &tx : pending_) {
+            if (!tx.cancelled && tx.readyAt <= now)
+                tx.readyAt = busyUntil_ + rng_.below(cfg_.resenseWindow);
+        }
+        scheduleEval();
+        return;
+    }
+
+    // All transmitters whose carrier sense sees a free medium at `now`
+    // start together; more than one starting is a collision.
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].readyAt <= now)
+            ready.push_back(i);
+    }
+    if (ready.empty()) {
+        scheduleEval();
+        return;
+    }
+
+    attempts_ += ready.size();
+
+    if (ready.size() > 1) {
+        // Collision: preamble + detect cycles are consumed, then every
+        // participant backs off for a random number of slots drawn
+        // from its (capped) exponential window.
+        ++collisionEvents_;
+        collisionsSampled_ += ready.size();
+        Tick after = now + 1 + cfg_.collisionCycles;
+        busyUntil_ = after;
+        busyCycles_ += after - now;
+        for (std::size_t idx : ready) {
+            PendingTx &tx = pending_[idx];
+            ++tx.attempt;
+            std::uint32_t exp =
+                std::min(tx.attempt, cfg_.maxBackoffExp);
+            std::uint64_t window = 1ULL << exp;
+            tx.readyAt = after + rng_.below(window) * cfg_.backoffSlot;
+        }
+        scheduleEval();
+        return;
+    }
+
+    // Lone transmitter: check the jam filters, which fire a
+    // negative-ack in the collision-detect cycle.
+    std::size_t idx = ready.front();
+    if (jammedBy(pending_[idx])) {
+        if (trace_) {
+            std::fprintf(stderr, "%10llu  WNoC %2u JAMMED %-10s line=%#llx\n",
+                         (unsigned long long)now, pending_[idx].frame.src,
+                         frameKindName(pending_[idx].frame.kind),
+                         (unsigned long long)pending_[idx].frame.lineAddr);
+        }
+        ++jamRejects_;
+        Tick after = now + 1 + cfg_.collisionCycles;
+        busyUntil_ = after;
+        busyCycles_ += after - now;
+        PendingTx &tx = pending_[idx];
+        // A jam is the directory saying "not yet", not congestion:
+        // retry on a short fixed window (and do not escalate the
+        // collision backoff), otherwise a long jam (e.g. a batch of
+        // W->W joins) starves writers far beyond the jam itself.
+        tx.readyAt = after + rng_.below(4) * cfg_.backoffSlot;
+        scheduleEval();
+        return;
+    }
+
+    // Successful acquisition: commit at now+commitOffset, deliver the
+    // frame everywhere at the end of the frame.
+    if (trace_) {
+        std::fprintf(stderr, "%10llu  WNoC %2u %-10s line=%#llx val=%llu\n",
+                     (unsigned long long)now, pending_[idx].frame.src,
+                     frameKindName(pending_[idx].frame.kind),
+                     (unsigned long long)pending_[idx].frame.lineAddr,
+                     (unsigned long long)pending_[idx].frame.value);
+    }
+    PendingTx tx = std::move(pending_[idx]);
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(idx));
+    ++successes_;
+    Tick end = now + frameCycles();
+    busyUntil_ = end;
+    busyCycles_ += end - now;
+
+    if (tx.onCommit) {
+        sim_.scheduleAt(now + cfg_.commitOffset,
+                        [fn = std::move(tx.onCommit)] { fn(); });
+    }
+    Frame frame = tx.frame;
+    deliveryPending_ = true;
+    deliveryAt_ = end;
+    sim_.scheduleAt(end, [this, frame] {
+        deliveryPending_ = false;
+        for (auto &rx : receivers_) {
+            if (rx)
+                rx(frame);
+        }
+    });
+    scheduleEval();
+}
+
+} // namespace widir::wireless

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Frames carried on the wireless data channel.
+ *
+ * Every frame is a chip-wide broadcast: all transceivers receive it.
+ * WiDir uses four frame kinds (Section III/IV of the paper):
+ *
+ *  - WirUpd:    fine-grain update (one 64-bit word + its address) sent
+ *               by a sharer writing a W-state line.
+ *  - BrWirUpgr: directory announcement that a line is transitioning to
+ *               the Wireless state; triggers the global ToneAck census.
+ *  - WirDwgr:   directory announcement that a line is leaving W; the
+ *               surviving sharers identify themselves over the wired
+ *               network.
+ *  - WirInv:    directory is evicting a wireless line; all cached
+ *               copies invalidate.
+ */
+
+#ifndef WIDIR_WIRELESS_FRAME_H
+#define WIDIR_WIRELESS_FRAME_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace widir::wireless {
+
+using sim::Addr;
+using sim::NodeId;
+
+/** Wireless data-channel frame kinds. */
+enum class FrameKind : std::uint8_t
+{
+    WirUpd,     ///< word update to a W line
+    BrWirUpgr,  ///< broadcast wireless upgrade (S -> W)
+    WirDwgr,    ///< wireless downgrade (W -> S)
+    WirInv,     ///< wireless invalidate (directory eviction)
+};
+
+/** Human-readable kind name (for traces and tests). */
+const char *frameKindName(FrameKind kind);
+
+/** One wireless broadcast frame. */
+struct Frame
+{
+    NodeId src = sim::kNodeNone;
+    FrameKind kind = FrameKind::WirUpd;
+    Addr lineAddr = sim::kAddrNone; ///< line-aligned target address
+    Addr wordAddr = sim::kAddrNone; ///< word address (WirUpd only)
+    std::uint64_t value = 0;        ///< word payload (WirUpd only)
+};
+
+} // namespace widir::wireless
+
+#endif // WIDIR_WIRELESS_FRAME_H

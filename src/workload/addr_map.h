@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulated address-space layout used by the application kernels.
+ *
+ * Shared structures (locks, barriers, task queues, shared arrays) live
+ * in a low shared region; each thread owns a large private region for
+ * its local data. Everything is 8-byte-word addressed; lines are 64B.
+ */
+
+#ifndef WIDIR_WORKLOAD_ADDR_MAP_H
+#define WIDIR_WORKLOAD_ADDR_MAP_H
+
+#include <cstdint>
+
+#include "mem/address.h"
+#include "sim/types.h"
+
+namespace widir::workload {
+
+using sim::Addr;
+
+/** Canonical shared/private region layout. */
+struct AddrMap
+{
+    /// @name Shared region
+    /// @{
+    static constexpr Addr kSharedBase = 0x1000'0000;
+
+    /** n-th shared cache line (64B apart). */
+    static constexpr Addr
+    sharedLine(std::uint64_t n)
+    {
+        return kSharedBase + n * mem::kLineBytes;
+    }
+
+    /** n-th shared 8-byte word (packed; 8 words per line). */
+    static constexpr Addr
+    sharedWord(std::uint64_t n)
+    {
+        return kSharedBase + n * 8;
+    }
+
+    /** A named shared array starting at line-aligned slot @p slot. */
+    static constexpr Addr
+    sharedArray(std::uint64_t slot)
+    {
+        return kSharedBase + 0x10'0000 + slot * 0x10'0000;
+    }
+    /// @}
+
+    /// @name Synchronization variables (each on its own line)
+    /// @{
+    static constexpr Addr barrierCount() { return sharedLine(0); }
+    static constexpr Addr barrierSense() { return sharedLine(1); }
+    static constexpr Addr globalLock(std::uint64_t i = 0)
+    {
+        return sharedLine(2 + i);
+    }
+    static constexpr Addr taskQueueHead(std::uint64_t i = 0)
+    {
+        return sharedLine(18 + i);
+    }
+    static constexpr Addr reduction(std::uint64_t i = 0)
+    {
+        return sharedLine(34 + i);
+    }
+    /// @}
+
+    /// @name Private region: 16 MB per thread
+    /// @{
+    static constexpr Addr kPrivateBase = 0x8000'0000;
+    static constexpr Addr kPrivateStride = 0x100'0000;
+
+    static constexpr Addr
+    privateBase(std::uint32_t tid)
+    {
+        return kPrivateBase + static_cast<Addr>(tid) * kPrivateStride;
+    }
+
+    static constexpr Addr
+    privateWord(std::uint32_t tid, std::uint64_t n)
+    {
+        return privateBase(tid) + n * 8;
+    }
+    /// @}
+};
+
+} // namespace widir::workload
+
+#endif // WIDIR_WORKLOAD_ADDR_MAP_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Kernels modeling PARSEC `canneal` and `fluidanimate`.
+ *
+ * canneal: simulated annealing for chip routing -- threads pick random
+ * netlist elements, read their locations and swap them, giving very
+ * low locality and the suite's highest miss rate (Table IV: 23.21
+ * MPKI). Hot elements do accumulate sharers, so WiDir recovers some
+ * of the coherence misses.
+ *
+ * fluidanimate: SPH fluid simulation over a cell grid; threads update
+ * particles in their own cells and synchronize on boundary cells with
+ * fine-grained locks (Table IV: 1.27 MPKI).
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+canneal(Thread &t, const WorkloadParams &p)
+{
+    constexpr std::uint64_t kElements = 384; // shared netlist lines
+    std::uint64_t moves = p.perThread(20, t.numThreads());
+    for (std::uint64_t m = 0; m < moves; ++m) {
+        // canneal partitions the netlist: each thread repeatedly
+        // revisits its own elements (re-reads!) while swap partners
+        // are drawn globally. Under the baseline, a partner's write
+        // invalidates the owner, whose next revisit misses -- the
+        // coherence misses WiDir converts into in-place updates.
+        std::uint64_t a =
+            16 + (static_cast<std::uint64_t>(t.id()) * 5 +
+                  t.rng().below(5)) %
+                     (kElements - 16);
+        std::uint64_t b = t.rng().below(kElements);
+        co_await t.loadNb(AddrMap::sharedArray(16) +
+                          a * mem::kLineBytes);
+        co_await t.loadNb(AddrMap::sharedArray(16) +
+                          b * mem::kLineBytes);
+        co_await t.compute(260); // routing-cost delta
+        // Accept: swap the two locations (writes to shared lines).
+        if (t.rng().chance(0.3)) {
+            co_await t.store(AddrMap::sharedArray(16) +
+                                 a * mem::kLineBytes,
+                             b);
+            co_await t.store(AddrMap::sharedArray(16) +
+                                 b * mem::kLineBytes,
+                             a);
+        }
+        // Global temperature/step counter all threads poll.
+        if ((m & 7) == 0)
+            co_await t.fetchAdd(AddrMap::reduction(6), 1);
+    }
+    co_return;
+}
+
+Task
+fluidanimate(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    std::uint64_t steps = p.perThread(2, t.numThreads());
+    std::uint32_t n = t.numThreads();
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        // Update particles in my own cells: L1-resident, arithmetic
+        // heavy (density + force kernels).
+        co_await touchPrivate(t, 40, 40, 550);
+        // Boundary cells: lock the cell shared with each neighbour,
+        // exchange particle contributions.
+        std::uint32_t nb = (t.id() + 1) % n;
+        std::uint64_t cell_lock = 8 + (std::min(t.id(), nb) % 8);
+        co_await syn::lockAcquire(t, AddrMap::globalLock(cell_lock));
+        co_await t.fetchAdd(AddrMap::sharedArray(17) +
+                                (std::min(t.id(), nb)) *
+                                    mem::kLineBytes,
+                            1);
+        co_await syn::lockRelease(t, AddrMap::globalLock(cell_lock));
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+} // namespace widir::workload::apps

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Kernels modeling the compute-dominated PARSEC applications that the
+ * paper finds get essentially no benefit from WiDir: `blackscholes`,
+ * `bodytrack` and `freqmine`. Their time goes to private arithmetic
+ * and private-capacity misses, with only coarse-grained barriers or
+ * rare shared counters -- so there is almost nothing for the wireless
+ * path to accelerate (Fig. 8 shows ~1.0 normalized time for them).
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+blackscholes(Thread &t, const WorkloadParams &p)
+{
+    // Each thread prices its own option chunk: pure private floating
+    // point over an L1-resident slice (Table IV: 0.13 MPKI), one
+    // barrier per run.
+    bool sense = false;
+    std::uint64_t options = p.perThread(48, t.numThreads());
+    for (std::uint64_t i = 0; i < options; ++i) {
+        co_await t.loadNb(AddrMap::privateWord(t.id(), (i % 16) * 8));
+        co_await t.compute(1500); // Black-Scholes formula arithmetic
+        co_await t.store(AddrMap::privateWord(t.id(), 1024 + (i % 16) * 8),
+                         i);
+    }
+    co_await syn::globalBarrier(t, sense);
+    co_return;
+}
+
+Task
+bodytrack(Thread &t, const WorkloadParams &p)
+{
+    // Particle-filter body tracking: per frame, score many particles
+    // against read-shared image features; the particle state streams
+    // through the L1 (Table IV: 7.51 MPKI, almost all private misses).
+    bool sense = false;
+    std::uint64_t frames = p.perThread(2, t.numThreads());
+    for (std::uint64_t f = 0; f < frames; ++f) {
+        for (int particle = 0; particle < 10; ++particle) {
+            // Particle state: fresh private lines each evaluation.
+            co_await streamPrivate(t, (f * 10 + particle) * 24,
+                                   /*lines=*/6, /*compute=*/80);
+            // Read-only image features (shared, read-only: S copies
+            // everywhere, no invalidations to save).
+            co_await randomSharedRead(t, /*slot=*/13, /*lines=*/64);
+            co_await t.compute(150);
+        }
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+Task
+freqmine(Thread &t, const WorkloadParams &p)
+{
+    // FP-growth frequent itemset mining: each thread grows private
+    // FP-tree fragments (pointer-chasing over a big private heap,
+    // Table IV: 8.84 MPKI) and rarely touches shared counters.
+    bool sense = false;
+    std::uint64_t rounds = p.perThread(3, t.numThreads());
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (int node = 0; node < 30; ++node) {
+            std::uint64_t off = t.rng().below(4096) * 8; // 32KB reach
+            co_await t.loadNb(AddrMap::privateWord(t.id(), off));
+            co_await t.compute(110);
+        }
+        // Occasional shared support-count update.
+        co_await t.fetchAdd(AddrMap::reduction(5), 1);
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+} // namespace widir::workload::apps

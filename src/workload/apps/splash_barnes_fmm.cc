@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Kernels modeling SPLASH-3 `barnes` and `fmm`.
+ *
+ * Both are hierarchical N-body codes. barnes (Barnes-Hut) walks a
+ * shared octree every timestep: upper tree cells are read by all
+ * threads and rebuilt/updated each step under per-cell locks, giving
+ * heavy read-write sharing of a moderate set of lines (9.53 MPKI,
+ * one of WiDir's best apps). fmm (Fast Multipole) exchanges multipole
+ * expansions between neighbouring cells -- fewer, more structured
+ * interactions (1.88 MPKI) but with the same re-read-after-write
+ * flavour, which gives it a large latency cut in Fig. 7.
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+barnes(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    constexpr std::uint64_t kTreeLines = 48; // hot upper-tree cells
+    std::uint64_t steps = p.perThread(2, t.numThreads());
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        // Tree build: each thread inserts its bodies, updating shared
+        // cells under a lock -- writes that many other cores re-read.
+        for (int ins = 0; ins < 4; ++ins) {
+            std::uint64_t cell = t.rng().below(kTreeLines);
+            co_await syn::lockAcquire(
+                t, AddrMap::globalLock(3 + cell % 8));
+            co_await t.fetchAdd(AddrMap::sharedArray(11) +
+                                    cell * mem::kLineBytes,
+                                1);
+            co_await syn::lockRelease(
+                t, AddrMap::globalLock(3 + cell % 8));
+            co_await t.compute(200);
+        }
+        co_await syn::globalBarrier(t, sense);
+        // Force pass: every thread's tree walk touches the whole set
+        // of upper-tree cells for each of its bodies -- the frequent
+        // re-read-after-write pattern of Section II-C. The dense
+        // re-reads keep the cells' W copies alive under WiDir.
+        for (int body = 0; body < 2; ++body) {
+            for (std::uint64_t cell = 0; cell < kTreeLines; ++cell) {
+                co_await t.loadNb(AddrMap::sharedArray(11) +
+                                  cell * mem::kLineBytes);
+                co_await t.compute(85);
+            }
+        }
+        co_await streamPrivate(t, (s % 4) * 512, /*lines=*/24,
+                               /*compute=*/60, /*write=*/true);
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+Task
+fmm(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    std::uint64_t steps = p.perThread(2, t.numThreads());
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        // Upward pass: compute my cell's multipole expansion locally
+        // and publish it (one line per thread).
+        co_await touchPrivate(t, 20, 24, 500);
+        co_await writeSharedBlock(t, /*slot=*/12, /*first=*/t.id(),
+                                  /*lines=*/1, /*compute=*/30,
+                                  /*value=*/s);
+        co_await syn::globalBarrier(t, sense);
+        // Interaction lists: read the expansions of a handful of
+        // neighbour cells (structured sharing, modest volume).
+        std::uint32_t n = t.numThreads();
+        for (int k = 1; k <= 4; ++k) {
+            std::uint32_t nb = (t.id() + k) % n;
+            co_await readSharedBlock(t, /*slot=*/12, /*first=*/nb,
+                                     /*lines=*/1, /*compute=*/250);
+        }
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+} // namespace widir::workload::apps

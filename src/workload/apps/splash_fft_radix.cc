@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Kernels modeling SPLASH-3 `fft` and `radix`.
+ *
+ * fft: the six-step 1D FFT dominated by all-to-all matrix transposes:
+ * each thread writes its row stripe then reads a stripe from every
+ * other thread between barriers (5.05 MPKI; large memory-latency
+ * reduction under WiDir in Fig. 7).
+ *
+ * radix: parallel radix sort; per digit a global histogram that every
+ * thread RMWs, a prefix-sum phase over the shared bins, then a
+ * permutation that writes keys into other threads' output partitions
+ * (9.41 MPKI).
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+fft(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    std::uint32_t n = t.numThreads();
+    std::uint64_t stages = p.perThread(2, t.numThreads());
+    for (std::uint64_t stage = 0; stage < stages; ++stage) {
+        // Local 1D FFTs over my stripe (streaming, compute-heavy).
+        co_await streamPrivate(t, 0, /*lines=*/48, /*compute=*/250);
+        co_await touchPrivate(t, 32, 60, 200);
+        // Publish my stripe: one shared line per (me, them) pair.
+        for (std::uint32_t dst = 0; dst < n; ++dst) {
+            co_await t.store(AddrMap::sharedArray(8) +
+                                 (static_cast<Addr>(t.id()) * n + dst) *
+                                     mem::kLineBytes,
+                             stage + 1);
+        }
+        co_await syn::globalBarrier(t, sense);
+        // Transpose: read the stripe every other thread wrote for me.
+        for (std::uint32_t src = 0; src < n; ++src) {
+            co_await t.loadNb(AddrMap::sharedArray(8) +
+                              (static_cast<Addr>(src) * n + t.id()) *
+                                  mem::kLineBytes);
+            co_await t.compute(40);
+        }
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+Task
+radix(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    constexpr std::uint64_t kBins = 32;
+    std::uint32_t n = t.numThreads();
+    std::uint64_t passes = p.perThread(2, t.numThreads());
+    for (std::uint64_t pass = 0; pass < passes; ++pass) {
+        // Histogram my keys into a PRIVATE per-processor histogram
+        // (SPLASH radix accumulates locally; no global RMW storm).
+        for (int chunk = 0; chunk < 12; ++chunk) {
+            co_await t.loadNb(AddrMap::privateWord(
+                t.id(), (pass * 12 + chunk) * 8));
+            std::uint64_t bin = t.rng().below(kBins);
+            // One line per bin (SPLASH pads to avoid false sharing).
+            co_await t.store(AddrMap::privateWord(t.id(),
+                                                  4096 + bin * 8),
+                             pass + 1);
+            co_await t.compute(250);
+        }
+        co_await syn::globalBarrier(t, sense);
+        // Merge: each thread owns kBins/n of the global bins; it reads
+        // that bin's counter from every processor's private histogram
+        // and writes the owned global bin (single writer per bin).
+        for (std::uint64_t bin = t.id(); bin < kBins; bin += n) {
+            for (std::uint32_t src = 0; src < n; ++src) {
+                co_await t.loadNb(
+                    AddrMap::privateWord(src, 4096 + bin * 8));
+            }
+            co_await t.compute(3 * n);
+            co_await t.store(AddrMap::sharedArray(9) +
+                                 bin * mem::kLineBytes,
+                             pass + 1);
+        }
+        co_await syn::globalBarrier(t, sense);
+        // Prefix scan: every thread reads all the global bins -- the
+        // one-writer/many-reader re-read pattern WiDir serves with a
+        // broadcast update.
+        for (std::uint64_t bin = 0; bin < kBins; ++bin) {
+            co_await t.loadNb(AddrMap::sharedArray(9) +
+                              bin * mem::kLineBytes);
+        }
+        co_await t.compute(kBins * 30);
+        co_await syn::globalBarrier(t, sense);
+        // Permute: write my keys into other partitions' output.
+        for (int chunk = 0; chunk < 12; ++chunk) {
+            std::uint32_t dst =
+                static_cast<std::uint32_t>(t.rng().below(t.numThreads()));
+            co_await t.store(AddrMap::sharedArray(10) +
+                                 (static_cast<Addr>(dst) * 16 +
+                                  t.rng().below(16)) *
+                                     mem::kLineBytes,
+                             pass);
+            co_await t.compute(150);
+        }
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+} // namespace widir::workload::apps

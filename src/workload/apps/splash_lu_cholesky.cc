@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Kernels modeling SPLASH-3 `lu` (contiguous and non-contiguous) and
+ * `cholesky`.
+ *
+ * Blocked dense factorizations: each step one owner factors/publishes
+ * a pivot block that every other thread then reads to update its own
+ * blocks, with a barrier per step -- the one-writer/many-reader,
+ * write-then-re-read pattern that the paper's Section II-C motivates
+ * (56% of invalidated sharers re-read). The non-contiguous variant
+ * strides through memory and misses far more (Table IV: 21.52 vs 1.9
+ * MPKI). cholesky is the sparse cousin driven by a task queue
+ * (5.92 MPKI).
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+namespace {
+
+/** Common blocked-factorization skeleton for both lu variants. */
+Task
+luCommon(Thread &t, const WorkloadParams &p, std::uint64_t stream_lines,
+         std::uint64_t compute_per_line)
+{
+    bool sense = false;
+    std::uint64_t steps = p.perThread(3, t.numThreads());
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        std::uint32_t owner =
+            static_cast<std::uint32_t>(s % t.numThreads());
+        if (t.id() == owner) {
+            // Factor and publish the pivot block (4 shared lines).
+            co_await writeSharedBlock(t, /*slot=*/6, /*first=*/0,
+                                      /*lines=*/4, /*compute=*/60,
+                                      /*value=*/s);
+        }
+        co_await syn::globalBarrier(t, sense);
+        // Everyone reads the pivot block...
+        co_await readSharedBlock(t, /*slot=*/6, /*first=*/0,
+                                 /*lines=*/4, /*compute=*/30);
+        // ...and updates its own trailing blocks. The non-contiguous
+        // variant streams a big footprint; the contiguous one reuses
+        // an L1-resident block.
+        if (stream_lines) {
+            co_await streamPrivate(t, (s % 4) * 1024, stream_lines,
+                                   compute_per_line, /*write=*/true);
+        } else {
+            co_await touchPrivate(t, 32, 60, 300);
+        }
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+} // namespace
+
+Task
+luNc(Thread &t, const WorkloadParams &p)
+{
+    // Non-contiguous blocks: big strided streams, few instructions per
+    // line -> the suite's highest MPKI.
+    return luCommon(t, p, /*stream_lines=*/96, /*compute_per_line=*/45);
+}
+
+Task
+luC(Thread &t, const WorkloadParams &p)
+{
+    // Contiguous blocks stay L1-resident between uses.
+    return luCommon(t, p, /*stream_lines=*/0, /*compute_per_line=*/0);
+}
+
+Task
+cholesky(Thread &t, const WorkloadParams &p)
+{
+    std::uint64_t tasks =
+        static_cast<std::uint64_t>(5) * 64 * p.scale; // fixed input
+    for (;;) {
+        std::uint64_t task =
+            co_await syn::taskPop(t, AddrMap::taskQueueHead(3));
+        if (task >= tasks)
+            break;
+        // Read the source supernode (shared), update mine (private
+        // streaming), post completion under a lock.
+        co_await readSharedBlock(t, /*slot=*/7,
+                                 /*first=*/(task * 3) % 48,
+                                 /*lines=*/3, /*compute=*/150);
+        co_await streamPrivate(t, (task % 16) * 64, /*lines=*/10,
+                               /*compute=*/150, /*write=*/true);
+        co_await touchPrivate(t, 16, 20, 150);
+        co_await t.fetchAdd(AddrMap::reduction(4), 1);
+    }
+    co_await syn::spinUntilAtLeast(t, AddrMap::reduction(4), tasks);
+    co_return;
+}
+
+} // namespace widir::workload::apps

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Kernel modeling SPLASH-3 `ocean` (non-contiguous partitions).
+ *
+ * Ocean solves eddy-current PDEs over large 2D grids with red-black
+ * Gauss-Seidel sweeps. The non-contiguous layout gives every sweep a
+ * large streaming working set (Table IV: 16.05 MPKI -- mostly capacity
+ * misses), row exchanges with grid neighbours, and a global
+ * convergence-test accumulator that every thread reads and writes each
+ * sweep -- the hot, many-sharer pattern the paper's WiDir accelerates
+ * (ocean-nc shows one of the largest memory-latency reductions).
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+oceanNc(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    std::uint64_t sweeps = p.perThread(2, t.numThreads());
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+        // Stream the thread's grid partition: far larger than L1, so
+        // nearly every line is a miss; ~30 instructions of stencil
+        // arithmetic per line keeps MPKI in ocean's band.
+        co_await streamPrivate(t, /*word_off=*/0, /*lines=*/120,
+                               /*compute=*/60, /*write=*/(s & 1));
+        // Boundary-row exchange with the neighbouring partitions.
+        co_await neighborExchange(t, /*slot=*/2, /*compute=*/40);
+        // Convergence check: everyone accumulates its local residual
+        // into the shared error cell and re-reads it -- frequent
+        // read-write sharing by all threads.
+        co_await t.fetchAdd(AddrMap::reduction(1), 1);
+        co_await syn::spinUntilAtLeast(t, AddrMap::reduction(1),
+                                       (s + 1) * t.numThreads());
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+} // namespace widir::workload::apps

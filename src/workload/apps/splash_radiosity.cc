@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Kernel modeling SPLASH-3 `radiosity`.
+ *
+ * Radiosity computes global illumination with highly irregular
+ * task-queue parallelism: threads pull patch-interaction tasks from
+ * shared queues (with stealing), and repeatedly read/update global
+ * scene energy totals. Its synchronization variables are touched by
+ * every core: the paper's Fig. 5 shows >90% of radiosity's wireless
+ * writes update 50+ sharers, and it gets one of the biggest speedups.
+ *
+ * Modeled as: a shared task counter popped by all threads; per task a
+ * moderate private computation, reads of a shared patch array, and a
+ * lock-protected update of global energy accumulators that all
+ * threads also poll between tasks.
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+radiosity(Thread &t, const WorkloadParams &p)
+{
+    std::uint64_t total_tasks =
+        static_cast<std::uint64_t>(6) * 64 * p.scale; // fixed input
+    for (;;) {
+        std::uint64_t task =
+            co_await syn::taskPop(t, AddrMap::taskQueueHead(0));
+        if (task >= total_tasks)
+            break;
+        // Patch visibility/form-factor work: small private working
+        // set plus reads of the shared patch array.
+        co_await touchPrivate(t, 24, 40, 220);
+        co_await readSharedBlock(t, /*slot=*/3,
+                                 /*first=*/task % 32, /*lines=*/2,
+                                 /*compute=*/100);
+        // Global energy update, polled by everyone: the hot pattern.
+        co_await syn::lockAcquire(t, AddrMap::globalLock(1));
+        co_await t.fetchAdd(AddrMap::reduction(2), 1);
+        co_await syn::lockRelease(t, AddrMap::globalLock(1));
+        std::uint64_t energy =
+            co_await t.load(AddrMap::reduction(2));
+        (void)energy;
+    }
+    // Final convergence poll: wait until all tasks accounted.
+    co_await syn::spinUntilAtLeast(t, AddrMap::reduction(2),
+                                   total_tasks);
+    co_return;
+}
+
+} // namespace widir::workload::apps

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Kernels modeling SPLASH-3 `raytrace` and `volrend`.
+ *
+ * Both are image-space task-parallel renderers: threads claim tile/ray
+ * jobs from a shared counter and traverse a read-shared scene/volume
+ * structure. raytrace has a larger per-ray footprint and heavier
+ * queue traffic (Table IV: 10.05 MPKI, sizable WiDir benefit);
+ * volrend's octree walk has a smaller footprint (2.44 MPKI).
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+raytrace(Thread &t, const WorkloadParams &p)
+{
+    std::uint64_t rays =
+        static_cast<std::uint64_t>(8) * 64 * p.scale; // fixed input
+    for (;;) {
+        std::uint64_t ray =
+            co_await syn::taskPop(t, AddrMap::taskQueueHead(1));
+        if (ray >= rays)
+            break;
+        // Traverse the read-shared BVH/scene: scattered shared reads.
+        for (int hop = 0; hop < 6; ++hop) {
+            co_await randomSharedRead(t, /*slot=*/4, /*lines=*/96);
+            co_await t.compute(60);
+        }
+        // Shade into a private framebuffer tile (streams: each ray
+        // touches fresh lines).
+        co_await streamPrivate(t, (ray % 64) * 8, /*lines=*/3,
+                               /*compute=*/60, /*write=*/true);
+        // Progress counter everyone polls for load-balance stats.
+        co_await t.fetchAdd(AddrMap::reduction(3), 1);
+    }
+    co_await syn::spinUntilAtLeast(t, AddrMap::reduction(3), rays);
+    co_return;
+}
+
+Task
+volrend(Thread &t, const WorkloadParams &p)
+{
+    std::uint64_t tiles =
+        static_cast<std::uint64_t>(6) * 64 * p.scale; // fixed input
+    for (;;) {
+        std::uint64_t tile =
+            co_await syn::taskPop(t, AddrMap::taskQueueHead(2));
+        if (tile >= tiles)
+            break;
+        // Octree walk over the read-shared volume (good reuse, small
+        // footprint: lower miss rate than raytrace).
+        for (int hop = 0; hop < 3; ++hop) {
+            co_await randomSharedRead(t, /*slot=*/5, /*lines=*/24);
+            co_await t.compute(300);
+        }
+        // Compose into an L1-resident private tile.
+        co_await touchPrivate(t, 12, 10, 150);
+    }
+    co_return;
+}
+
+} // namespace widir::workload::apps

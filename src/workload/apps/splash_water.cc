@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Kernels modeling SPLASH-3 `water-spatial` and `water-nsquared`.
+ *
+ * Both simulate water molecules. water-spatial partitions molecules
+ * into a 3D cell grid, so each thread mostly computes over its own
+ * cells and only exchanges boundary cells with neighbours between
+ * timesteps -- very low miss rate (Table IV: 0.49 MPKI) and little
+ * opportunity for WiDir. water-nsquared evaluates all molecule pairs:
+ * each thread reads every other thread's molecule block each step and
+ * accumulates inter-molecular forces under per-partition locks --
+ * more shared traffic (Table IV: 2.86 MPKI).
+ */
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+waterSpa(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    std::uint64_t steps = p.perThread(2, t.numThreads());
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        // Intra-cell force computation: L1-resident private molecules,
+        // heavy arithmetic per interaction.
+        co_await touchPrivate(t, /*lines=*/48, /*touches=*/80,
+                              /*compute=*/1200);
+        // Boundary-cell exchange with grid neighbours.
+        co_await neighborExchange(t, /*slot=*/0, /*compute=*/120);
+        // Global energy accumulation once per step.
+        co_await syn::lockAcquire(t, AddrMap::globalLock(0));
+        co_await t.fetchAdd(AddrMap::reduction(0), 1);
+        co_await syn::lockRelease(t, AddrMap::globalLock(0));
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+Task
+waterNsq(Thread &t, const WorkloadParams &p)
+{
+    bool sense = false;
+    std::uint64_t steps = p.perThread(2, t.numThreads());
+    std::uint32_t n = t.numThreads();
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        // Publish my molecule block (one line per thread).
+        co_await writeSharedBlock(t, /*slot=*/1, /*first=*/t.id(),
+                                  /*lines=*/1, /*compute=*/40,
+                                  /*value=*/s);
+        co_await syn::globalBarrier(t, sense);
+        // All-pairs sweep: read every other thread's block and do the
+        // pairwise force arithmetic.
+        for (std::uint32_t other = 0; other < n; ++other) {
+            if (other == t.id())
+                continue;
+            co_await readSharedBlock(t, /*slot=*/1, /*first=*/other,
+                                     /*lines=*/1, /*compute=*/300);
+        }
+        // Lock-protected accumulation into a few force partitions.
+        std::uint64_t part = t.rng().below(4);
+        co_await syn::lockAcquire(t, AddrMap::globalLock(part));
+        co_await t.fetchAdd(AddrMap::reduction(part), 1);
+        co_await syn::lockRelease(t, AddrMap::globalLock(part));
+        co_await syn::globalBarrier(t, sense);
+    }
+    co_return;
+}
+
+} // namespace widir::workload::apps

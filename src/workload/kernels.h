@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Declarations of the 20 application kernels (13 SPLASH-3 + 7 PARSEC
+ * analogs, Table IV of the paper). Each kernel reproduces the
+ * dominant sharing pattern and the approximate L1 miss intensity of
+ * its namesake; see each app's .cc for the modeling notes.
+ */
+
+#ifndef WIDIR_WORKLOAD_KERNELS_H
+#define WIDIR_WORKLOAD_KERNELS_H
+
+#include "cpu/task.h"
+#include "cpu/thread.h"
+#include "workload/params.h"
+
+namespace widir::workload::apps {
+
+using cpu::Task;
+using cpu::Thread;
+
+// SPLASH-3
+Task waterSpa(Thread &t, const WorkloadParams &p);
+Task waterNsq(Thread &t, const WorkloadParams &p);
+Task oceanNc(Thread &t, const WorkloadParams &p);
+Task volrend(Thread &t, const WorkloadParams &p);
+Task radiosity(Thread &t, const WorkloadParams &p);
+Task raytrace(Thread &t, const WorkloadParams &p);
+Task cholesky(Thread &t, const WorkloadParams &p);
+Task fft(Thread &t, const WorkloadParams &p);
+Task luNc(Thread &t, const WorkloadParams &p);
+Task luC(Thread &t, const WorkloadParams &p);
+Task radix(Thread &t, const WorkloadParams &p);
+Task barnes(Thread &t, const WorkloadParams &p);
+Task fmm(Thread &t, const WorkloadParams &p);
+
+// PARSEC
+Task blackscholes(Thread &t, const WorkloadParams &p);
+Task bodytrack(Thread &t, const WorkloadParams &p);
+Task canneal(Thread &t, const WorkloadParams &p);
+Task dedup(Thread &t, const WorkloadParams &p);
+Task fluidanimate(Thread &t, const WorkloadParams &p);
+Task ferret(Thread &t, const WorkloadParams &p);
+Task freqmine(Thread &t, const WorkloadParams &p);
+
+} // namespace widir::workload::apps
+
+#endif // WIDIR_WORKLOAD_KERNELS_H

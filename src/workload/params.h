@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Workload sizing parameters.
+ *
+ * Every application kernel scales its work with `scale` so the full
+ * experiment suite finishes quickly at scale 1 while keeping the same
+ * sharing patterns. Benches read WIDIR_BENCH_SCALE from the
+ * environment to run larger inputs.
+ */
+
+#ifndef WIDIR_WORKLOAD_PARAMS_H
+#define WIDIR_WORKLOAD_PARAMS_H
+
+#include <cstdint>
+
+namespace widir::workload {
+
+/** Per-run sizing knobs for the application kernels. */
+struct WorkloadParams
+{
+    /** Work multiplier: iterations/tasks scale roughly linearly. */
+    std::uint32_t scale = 1;
+
+    /**
+     * Strong scaling: the problem size is fixed (sized for a 64-core
+     * machine); running on fewer cores gives each thread
+     * proportionally more work, as the paper's fixed SPLASH/PARSEC
+     * inputs do. @p base is the per-thread count at 64 threads.
+     */
+    std::uint64_t
+    perThread(std::uint64_t base, std::uint32_t num_threads) const
+    {
+        std::uint64_t total = base * scale * 64;
+        std::uint64_t per = total / (num_threads ? num_threads : 1);
+        return per ? per : 1;
+    }
+};
+
+} // namespace widir::workload
+
+#endif // WIDIR_WORKLOAD_PARAMS_H

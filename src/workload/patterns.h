@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Reusable memory-access pattern building blocks for the application
+ * kernels. Each helper generates a stream of simulated accesses whose
+ * cache behaviour mirrors a classic parallel-program idiom:
+ *
+ *  - streamPrivate:     capacity misses over a thread-local array
+ *  - touchPrivate:      L1-resident private working set (mostly hits)
+ *  - readSharedBlock:   read-only sharing (many S copies)
+ *  - writeSharedBlock:  producer writes a block others will read
+ *  - randomSharedRead/Write: low-locality shared accesses (canneal)
+ *  - neighborExchange:  stencil boundary sharing between adjacent ids
+ */
+
+#ifndef WIDIR_WORKLOAD_PATTERNS_H
+#define WIDIR_WORKLOAD_PATTERNS_H
+
+#include <cstdint>
+
+#include "cpu/task.h"
+#include "cpu/thread.h"
+#include "mem/address.h"
+#include "workload/addr_map.h"
+
+namespace widir::workload::pattern {
+
+using cpu::Task;
+using cpu::Thread;
+using sim::Addr;
+
+/**
+ * Stream through @p lines cache lines of the thread's private region
+ * starting at word offset @p word_off, with @p compute_per_line
+ * instructions of work per line. Strides a full line, so each access
+ * is a fresh (capacity/cold) miss once the region exceeds the L1.
+ */
+inline Task
+streamPrivate(Thread &t, std::uint64_t word_off, std::uint64_t lines,
+              std::uint64_t compute_per_line, bool write = false)
+{
+    Addr base = AddrMap::privateBase(t.id()) + word_off * 8;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        Addr a = base + i * mem::kLineBytes;
+        if (write)
+            co_await t.store(a, i);
+        else
+            co_await t.loadNb(a);
+        if (compute_per_line)
+            co_await t.compute(compute_per_line);
+    }
+}
+
+/**
+ * Work over a small, L1-resident private region: @p touches accesses
+ * over @p lines lines (reuse -> hits), @p compute per touch.
+ */
+inline Task
+touchPrivate(Thread &t, std::uint64_t lines, std::uint64_t touches,
+             std::uint64_t compute_per_touch)
+{
+    Addr base = AddrMap::privateBase(t.id());
+    for (std::uint64_t i = 0; i < touches; ++i) {
+        std::uint64_t line = t.rng().below(lines ? lines : 1);
+        co_await t.loadNb(base + line * mem::kLineBytes);
+        if (compute_per_touch)
+            co_await t.compute(compute_per_touch);
+    }
+}
+
+/** Read @p lines consecutive lines of shared array slot @p slot. */
+inline Task
+readSharedBlock(Thread &t, std::uint64_t slot, std::uint64_t first_line,
+                std::uint64_t lines, std::uint64_t compute_per_line)
+{
+    Addr base = AddrMap::sharedArray(slot) + first_line * mem::kLineBytes;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        co_await t.loadNb(base + i * mem::kLineBytes);
+        if (compute_per_line)
+            co_await t.compute(compute_per_line);
+    }
+}
+
+/** Write @p lines consecutive lines of shared array slot @p slot. */
+inline Task
+writeSharedBlock(Thread &t, std::uint64_t slot, std::uint64_t first_line,
+                 std::uint64_t lines, std::uint64_t compute_per_line,
+                 std::uint64_t value = 1)
+{
+    Addr base = AddrMap::sharedArray(slot) + first_line * mem::kLineBytes;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        co_await t.store(base + i * mem::kLineBytes, value + i);
+        if (compute_per_line)
+            co_await t.compute(compute_per_line);
+    }
+}
+
+/** One random read within the first @p lines lines of a shared array. */
+inline Task
+randomSharedRead(Thread &t, std::uint64_t slot, std::uint64_t lines)
+{
+    Addr a = AddrMap::sharedArray(slot) +
+             t.rng().below(lines) * mem::kLineBytes +
+             t.rng().below(mem::kWordsPerLine) * 8;
+    co_await t.loadNb(a);
+}
+
+/** One random write within the first @p lines lines of a shared array. */
+inline Task
+randomSharedWrite(Thread &t, std::uint64_t slot, std::uint64_t lines,
+                  std::uint64_t value)
+{
+    Addr a = AddrMap::sharedArray(slot) +
+             t.rng().below(lines) * mem::kLineBytes +
+             t.rng().below(mem::kWordsPerLine) * 8;
+    co_await t.store(a, value);
+}
+
+/**
+ * Stencil-style boundary exchange: write my boundary line in shared
+ * array @p slot, then read both neighbours' boundary lines.
+ */
+inline Task
+neighborExchange(Thread &t, std::uint64_t slot,
+                 std::uint64_t compute_between)
+{
+    std::uint32_t n = t.numThreads();
+    std::uint32_t left = (t.id() + n - 1) % n;
+    std::uint32_t right = (t.id() + 1) % n;
+    Addr base = AddrMap::sharedArray(slot);
+    co_await t.store(base + t.id() * mem::kLineBytes, t.id());
+    if (compute_between)
+        co_await t.compute(compute_between);
+    co_await t.loadNb(base + left * mem::kLineBytes);
+    co_await t.loadNb(base + right * mem::kLineBytes);
+}
+
+} // namespace widir::workload::pattern
+
+#endif // WIDIR_WORKLOAD_PATTERNS_H

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Synchronization primitives built ON TOP of the simulated memory
+ * operations -- the spin locks, sense-reversing barriers and shared
+ * task counters that the paper's SPLASH-3/PARSEC workloads use through
+ * pthreads. Every primitive is ordinary loads/stores/RMWs, so
+ * synchronization really serializes through the coherence protocol.
+ *
+ * These are exactly the access patterns WiDir targets: a lock word or
+ * barrier sense flag is read and written by many cores in quick
+ * succession, so under WiDir the line migrates to the Wireless state
+ * and each release/flip becomes a single broadcast update instead of
+ * an invalidation storm and a pile of re-reads.
+ *
+ * NOTE (GCC 12): never put `co_await` inside a loop *condition*; GCC
+ * 12 miscompiles that shape. All spins here use the for(;;){...break;}
+ * form, and kernels should do the same (or just use these helpers).
+ */
+
+#ifndef WIDIR_WORKLOAD_SYNC_H
+#define WIDIR_WORKLOAD_SYNC_H
+
+#include <cstdint>
+
+#include <algorithm>
+
+#include "cpu/task.h"
+#include "cpu/thread.h"
+#include "workload/addr_map.h"
+
+namespace widir::workload::sync {
+
+using cpu::Task;
+using cpu::Thread;
+using cpu::ValueTask;
+using sim::Addr;
+
+/**
+ * Acquire a test-and-test-and-set spin lock (0 = free, 1 = held),
+ * with a small randomized pause between probes.
+ */
+inline Task
+lockAcquire(Thread &t, Addr lock)
+{
+    sim::Tick pause = 4;
+    for (;;) {
+        std::uint64_t observed = co_await t.load(lock);
+        if (observed == 0) {
+            // Compare-and-swap: a FAILED acquisition performs no store
+            // (and, under WiDir, broadcasts nothing).
+            std::uint64_t old = co_await t.cas(lock, 0, 1);
+            if (old == 0)
+                co_return;
+            // Lost the race: several contenders just woke; back off
+            // harder than after a mere busy observation.
+            pause = 16 + t.rng().below(32);
+        }
+        // PAUSE-style exponential backoff between probes: no retired
+        // instructions, bounded so a wireless lock release (a single
+        // broadcast) is picked up quickly.
+        co_await t.idle(pause + t.rng().below(pause));
+        pause = std::min<sim::Tick>(pause * 2, 48);
+    }
+}
+
+/** Release a spin lock: drain prior stores, then clear the word. */
+inline Task
+lockRelease(Thread &t, Addr lock)
+{
+    co_await t.fence();
+    co_await t.store(lock, 0);
+    co_await t.fence();
+}
+
+/** Spin until the word at @p addr equals @p want. */
+inline Task
+spinUntilEquals(Thread &t, Addr addr, std::uint64_t want)
+{
+    sim::Tick pause = 4;
+    for (;;) {
+        std::uint64_t v = co_await t.load(addr);
+        if (v == want)
+            break;
+        co_await t.idle(pause + t.rng().below(pause));
+        pause = std::min<sim::Tick>(pause * 2, 24);
+    }
+}
+
+/** Spin until the word at @p addr is >= @p want. */
+inline Task
+spinUntilAtLeast(Thread &t, Addr addr, std::uint64_t want)
+{
+    sim::Tick pause = 4;
+    for (;;) {
+        std::uint64_t v = co_await t.load(addr);
+        if (v >= want)
+            break;
+        co_await t.idle(pause + t.rng().below(pause));
+        pause = std::min<sim::Tick>(pause * 2, 24);
+    }
+}
+
+/**
+ * Sense-reversing centralized barrier over two shared words (the
+ * arrival counter and the global sense flag, on separate lines).
+ * Each thread keeps `local_sense` across calls (start it at false).
+ */
+inline Task
+barrierWait(Thread &t, Addr count, Addr sense, bool &local_sense)
+{
+    local_sense = !local_sense;
+    std::uint64_t want = local_sense ? 1 : 0;
+    std::uint64_t arrived = (co_await t.fetchAdd(count, 1)) + 1;
+    if (arrived == t.numThreads()) {
+        // Last arrival: reset the counter, then flip the sense. The
+        // fence orders the reset before the flip becomes visible.
+        co_await t.store(count, 0);
+        co_await t.fence();
+        co_await t.store(sense, want);
+        co_await t.fence();
+        co_return;
+    }
+    co_await spinUntilEquals(t, sense, want);
+}
+
+/** Barrier on the canonical AddrMap slots. */
+inline Task
+globalBarrier(Thread &t, bool &local_sense)
+{
+    return barrierWait(t, AddrMap::barrierCount(),
+                       AddrMap::barrierSense(), local_sense);
+}
+
+/**
+ * Grab the next task index from a shared counter (a centralized
+ * dynamic work queue, as SPLASH's task-stealing loops use). Returns
+ * the claimed index; the caller stops once it exceeds the task count.
+ */
+inline ValueTask<std::uint64_t>
+taskPop(Thread &t, Addr head)
+{
+    std::uint64_t idx = co_await t.fetchAdd(head, 1);
+    co_return idx;
+}
+
+} // namespace widir::workload::sync
+
+#endif // WIDIR_WORKLOAD_SYNC_H

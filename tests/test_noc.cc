@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the wired 2D mesh: geometry, XY hop counts, latency,
+ * serialization, contention and the Table-V hop histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace widir;
+
+noc::MeshConfig
+cfg(std::uint32_t n)
+{
+    noc::MeshConfig c;
+    c.numNodes = n;
+    return c;
+}
+
+TEST(Mesh, DimensionsMostSquare)
+{
+    sim::Simulator s;
+    noc::Mesh m64(s, cfg(64));
+    EXPECT_EQ(m64.width(), 8u);
+    EXPECT_EQ(m64.height(), 8u);
+    noc::Mesh m32(s, cfg(32));
+    EXPECT_EQ(m32.width() * m32.height(), 32u);
+    EXPECT_EQ(m32.height(), 4u);
+    noc::Mesh m16(s, cfg(16));
+    EXPECT_EQ(m16.width(), 4u);
+    noc::Mesh m4(s, cfg(4));
+    EXPECT_EQ(m4.width(), 2u);
+}
+
+TEST(Mesh, HopCountsAreManhattan)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64)); // 8x8
+    EXPECT_EQ(m.hopCount(0, 0), 0u);
+    EXPECT_EQ(m.hopCount(0, 7), 7u);
+    EXPECT_EQ(m.hopCount(0, 63), 14u); // corner to corner
+    EXPECT_EQ(m.hopCount(0, 8), 1u);   // one row down
+    EXPECT_EQ(m.hopCount(9, 0), 2u);
+}
+
+TEST(Mesh, UnloadedLatencyIsHops)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64));
+    sim::Tick arrival = 0;
+    m.send(0, 63, 64, [&] { arrival = s.now(); });
+    s.run();
+    EXPECT_EQ(arrival, 14u); // 14 hops x 1 cycle, single-flit message
+}
+
+TEST(Mesh, MultiFlitSerialization)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64));
+    // 584-bit line message = 5 flits of 128b: tail arrives 4 cycles
+    // after the head.
+    sim::Tick arrival = 0;
+    m.send(0, 1, 584, [&] { arrival = s.now(); });
+    s.run();
+    EXPECT_EQ(arrival, 1u + 4u);
+}
+
+TEST(Mesh, LocalDeliveryCostsOneCycle)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64));
+    sim::Tick arrival = 0;
+    m.send(5, 5, 64, [&] { arrival = s.now(); });
+    s.run();
+    EXPECT_EQ(arrival, 1u);
+}
+
+TEST(Mesh, ContentionDelaysSecondMessage)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64));
+    // Two 5-flit messages over the same first link: the second one
+    // waits for the first's serialization.
+    sim::Tick a1 = 0, a2 = 0;
+    m.send(0, 1, 584, [&] { a1 = s.now(); });
+    m.send(0, 1, 584, [&] { a2 = s.now(); });
+    s.run();
+    EXPECT_EQ(a1, 5u);
+    EXPECT_GT(a2, a1); // queued behind the first
+    EXPECT_EQ(a2, 10u);
+}
+
+TEST(Mesh, SameSourceDestinationIsFifo)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64));
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        m.send(0, 63, 584, [&order, i] { order.push_back(i); });
+    s.run();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Mesh, HopHistogramBins)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64));
+    m.send(0, 0, 64, [] {});   // 0 hops -> bin 0-2
+    m.send(0, 4, 64, [] {});   // 4 hops -> bin 3-5
+    m.send(0, 7, 64, [] {});   // 7 hops -> bin 6-8
+    m.send(0, 63, 64, [] {});  // 14 hops -> bin 12-16
+    s.run();
+    const auto &h = m.hopHistogram();
+    ASSERT_EQ(h.bins().size(), 5u);
+    EXPECT_EQ(h.bins()[0].count, 1u);
+    EXPECT_EQ(h.bins()[1].count, 1u);
+    EXPECT_EQ(h.bins()[2].count, 1u);
+    EXPECT_EQ(h.bins()[3].count, 0u);
+    EXPECT_EQ(h.bins()[4].count, 1u);
+}
+
+TEST(Mesh, BroadcastReachesEveryone)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(16));
+    std::vector<bool> got(16, false);
+    m.broadcast(3, 64, false,
+                [&](sim::NodeId n) { got[n] = true; });
+    s.run();
+    for (sim::NodeId n = 0; n < 16; ++n)
+        EXPECT_EQ(got[n], n != 3) << n;
+    EXPECT_EQ(m.messages(), 15u);
+}
+
+TEST(Mesh, StatsAccumulate)
+{
+    sim::Simulator s;
+    noc::Mesh m(s, cfg(64));
+    m.send(0, 1, 584, [] {});
+    s.run();
+    EXPECT_EQ(m.messages(), 1u);
+    EXPECT_EQ(m.routerTraversals(), 2u); // src + dst routers
+    EXPECT_EQ(m.flitHops(), 5u);         // 5 flits x 1 hop
+    EXPECT_GT(m.meanLatency(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Property-based random stress tests: random mixes of loads, stores,
+ * RMWs and compute over a small pool of hot shared lines plus private
+ * lines, across seeds and both protocols. After quiescence:
+ *
+ *  - every coherence invariant holds (system/checker.h),
+ *  - per-line fetch-add counters are exact (no lost updates),
+ *  - runs are deterministic (same seed -> same cycle count),
+ *  - data-race-free programs produce identical memory images under
+ *    Baseline and WiDir.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "system/checker.h"
+#include "system/manycore.h"
+
+namespace {
+
+using namespace widir;
+using coherence::L1State;
+using cpu::Task;
+using cpu::Thread;
+using sim::Addr;
+using sys::Manycore;
+using sys::SystemConfig;
+
+constexpr Addr kHotBase = 0x400000;
+constexpr std::uint32_t kHotLines = 4;
+constexpr Addr kPrivBase = 0x8000000;
+
+/** Random op mix; every core bumps hot counters a known number of
+ *  times so the final totals are checkable. */
+Task
+stressBody(Thread &t, std::uint32_t iters)
+{
+    for (std::uint32_t i = 0; i < iters; ++i) {
+        std::uint64_t dice = t.rng().below(100);
+        Addr hot =
+            kHotBase + t.rng().below(kHotLines) * mem::kLineBytes;
+        Addr priv = kPrivBase +
+                    (static_cast<Addr>(t.id()) << 20) +
+                    t.rng().below(32) * 8;
+        if (dice < 30) {
+            co_await t.fetchAdd(hot, 1); // counted below
+        } else if (dice < 55) {
+            co_await t.loadNb(hot + 8);
+        } else if (dice < 70) {
+            std::uint64_t v = co_await t.load(hot + 16);
+            (void)v;
+        } else if (dice < 85) {
+            co_await t.store(priv, i);
+        } else {
+            co_await t.loadNb(priv);
+        }
+        co_await t.compute(t.rng().below(40));
+    }
+    co_await t.fence();
+    co_return;
+}
+
+/** Sum of the hot counters across wherever they currently live. */
+std::uint64_t
+hotCounterTotal(Manycore &m)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t l = 0; l < kHotLines; ++l) {
+        Addr a = kHotBase + l * mem::kLineBytes;
+        std::uint64_t v = 0;
+        bool found = false;
+        for (sim::NodeId n = 0; n < m.numCores(); ++n) {
+            L1State st = m.l1(n).stateOf(a);
+            if (st == L1State::M || st == L1State::E) {
+                EXPECT_TRUE(m.l1(n).peekWord(a, v));
+                found = true;
+                break;
+            }
+            if (st == L1State::W && !found) {
+                EXPECT_TRUE(m.l1(n).peekWord(a, v));
+                found = true; // W copies all agree (checker verifies)
+            }
+        }
+        if (!found) {
+            auto &home = m.dir(m.fabric().homeOf(a));
+            if (auto *e = home.llc().lookup(a))
+                v = e->data.word(a);
+            else
+                v = m.memory().peekLine(a).word(a);
+        }
+        total += v;
+    }
+    return total;
+}
+
+class StressP : public ::testing::TestWithParam<
+                    std::tuple<std::uint64_t, bool, std::uint32_t>>
+{
+};
+
+TEST_P(StressP, InvariantsAndExactCounters)
+{
+    auto [seed, wireless, cores] = GetParam();
+    SystemConfig cfg = wireless ? SystemConfig::widir(cores)
+                                : SystemConfig::baseline(cores);
+    cfg.seed = seed;
+    Manycore m(cfg);
+    constexpr std::uint32_t kIters = 60;
+    m.run([](Thread &t) { return stressBody(t, kIters); });
+
+    // Invariants hold at quiescence.
+    auto violations = sys::checkCoherence(m);
+    for (const auto &v : violations)
+        ADD_FAILURE() << v;
+
+    // No lost updates: the RMW mix ran `dice < 30` of iters per core
+    // in expectation, but exact counting comes from the L1 stats.
+    std::uint64_t rmws = m.l1Totals().rmws -
+                         m.l1Totals().wirelessSquashes * 0;
+    // Count actual successful RMW ops from the cpu side instead.
+    std::uint64_t cpu_rmws = m.cpuTotals().rmws;
+    (void)rmws;
+    EXPECT_EQ(hotCounterTotal(m), cpu_rmws);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, StressP,
+    ::testing::Combine(::testing::Values(1ull, 7ull, 42ull, 1234ull,
+                                         98765ull),
+                       ::testing::Bool(),
+                       ::testing::Values(8u, 16u)));
+
+TEST(Determinism, SameSeedSameCycles)
+{
+    auto once = [](std::uint64_t seed) {
+        SystemConfig cfg = SystemConfig::widir(8);
+        cfg.seed = seed;
+        Manycore m(cfg);
+        return m.run(
+            [](Thread &t) { return stressBody(t, 40); });
+    };
+    EXPECT_EQ(once(5), once(5));
+    EXPECT_NE(once(5), once(6)); // different seed, different timing
+}
+
+/** DRF program: disjoint write sets + a final barrier-ish counter. */
+Task
+drfBody(Thread &t)
+{
+    Addr mine = 0x600000 + static_cast<Addr>(t.id()) * 8;
+    for (int i = 1; i <= 16; ++i) {
+        co_await t.store(mine, static_cast<std::uint64_t>(i * 100 +
+                                                          t.id()));
+        co_await t.loadNb(0x600000 +
+                          t.rng().below(t.numThreads()) * 8);
+        co_await t.compute(25);
+    }
+    co_await t.fence();
+    co_await t.fetchAdd(0x700000, 1);
+    co_return;
+}
+
+TEST(ProtocolEquivalence, DrfProgramsProduceSameMemoryImage)
+{
+    auto image = [](bool wireless) {
+        SystemConfig cfg = wireless ? SystemConfig::widir(16)
+                                    : SystemConfig::baseline(16);
+        Manycore m(cfg);
+        m.run([](Thread &t) { return drfBody(t); });
+        auto violations = sys::checkCoherence(m);
+        EXPECT_TRUE(violations.empty());
+        // Collect the authoritative value of every written word.
+        std::map<Addr, std::uint64_t> img;
+        for (std::uint32_t id = 0; id < 16; ++id) {
+            Addr a = 0x600000 + static_cast<Addr>(id) * 8;
+            std::uint64_t v = 0;
+            bool found = false;
+            for (sim::NodeId n = 0; n < 16 && !found; ++n) {
+                L1State st = m.l1(n).stateOf(a);
+                if (st != L1State::I)
+                    found = m.l1(n).peekWord(a, v);
+            }
+            if (!found) {
+                auto &home = m.dir(m.fabric().homeOf(a));
+                if (auto *e = home.llc().lookup(a))
+                    v = e->data.word(a);
+                else
+                    v = m.memory().peekLine(a).word(a);
+            }
+            img[a] = v;
+        }
+        return img;
+    };
+    auto base = image(false);
+    auto widir = image(true);
+    EXPECT_EQ(base, widir);
+    for (auto &[a, v] : base) {
+        std::uint32_t id =
+            static_cast<std::uint32_t>((a - 0x600000) / 8);
+        EXPECT_EQ(v, 16u * 100 + id) << "addr " << a;
+    }
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: event ordering, time
+ * advancement, RNG determinism, statistics containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace {
+
+using namespace widir;
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(10, [&] { order.push_back(2); });
+    q.scheduleAt(5, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(3); });
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAt(7, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    sim::EventQueue q;
+    int fired = 0;
+    q.scheduleAt(1, [&] {
+        ++fired;
+        q.schedule(4, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, RunLimitStopsEarly)
+{
+    sim::EventQueue q;
+    bool late = false;
+    q.scheduleAt(100, [&] { late = true; });
+    EXPECT_FALSE(q.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_TRUE(q.run(100));
+    EXPECT_TRUE(late);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    sim::EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(static_cast<sim::Tick>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 5u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    sim::Rng a(42, 7);
+    sim::Rng b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreIndependent)
+{
+    sim::Rng a(42, 1);
+    sim::Rng b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    sim::Rng r(3, 3);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    sim::Rng r(9, 1);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    sim::Rng r(5, 5);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.range(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        hit_lo |= (v == 3);
+        hit_hi |= (v == 5);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Simulator, DerivedRngsAreStable)
+{
+    sim::Simulator s1(99);
+    sim::Simulator s2(99);
+    auto r1 = s1.makeRng(4);
+    auto r2 = s2.makeRng(4);
+    EXPECT_EQ(r1.next(), r2.next());
+}
+
+TEST(Stats, AverageBasics)
+{
+    sim::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, BinnedHistogramBins)
+{
+    // Fig. 5 bins: <=5, 6-10, 11-25, 26-49, 50+.
+    sim::BinnedHistogram h({5, 10, 25, 49}, true);
+    h.sample(0);
+    h.sample(5);
+    h.sample(6);
+    h.sample(25);
+    h.sample(26);
+    h.sample(49);
+    h.sample(50);
+    h.sample(1000);
+    ASSERT_EQ(h.bins().size(), 5u);
+    EXPECT_EQ(h.bins()[0].count, 2u);
+    EXPECT_EQ(h.bins()[1].count, 1u);
+    EXPECT_EQ(h.bins()[2].count, 1u);
+    EXPECT_EQ(h.bins()[3].count, 2u);
+    EXPECT_EQ(h.bins()[4].count, 2u);
+    EXPECT_EQ(h.total(), 8u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+}
+
+TEST(Stats, BinnedHistogramWeightedMean)
+{
+    sim::BinnedHistogram h({10}, true);
+    h.sample(4, 3); // weight 3
+    h.sample(10, 1);
+    EXPECT_DOUBLE_EQ(h.mean(), (4.0 * 3 + 10.0) / 4.0);
+}
+
+TEST(Stats, DistributionPercentiles)
+{
+    sim::Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_NEAR(d.percentile(0.5), 50.0, 1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the wireless NoC: BRS MAC timing, collision handling
+ * with exponential back-off, selective jamming (including false
+ * positives), cancellation, and the ToneAck census.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "wireless/data_channel.h"
+#include "wireless/tone_channel.h"
+
+namespace {
+
+using namespace widir;
+using wireless::DataChannel;
+using wireless::DataChannelConfig;
+using wireless::Frame;
+using wireless::FrameKind;
+using wireless::ToneChannel;
+
+DataChannelConfig
+cfg(std::uint32_t nodes = 8)
+{
+    DataChannelConfig c;
+    c.numNodes = nodes;
+    return c;
+}
+
+Frame
+updFrame(sim::NodeId src, sim::Addr line)
+{
+    Frame f;
+    f.src = src;
+    f.kind = FrameKind::WirUpd;
+    f.lineAddr = line;
+    f.wordAddr = line;
+    f.value = 1;
+    return f;
+}
+
+TEST(DataChannel, LoneFrameTiming)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    sim::Tick commit_at = 0;
+    std::vector<sim::Tick> rx_at;
+    for (sim::NodeId n = 0; n < 8; ++n) {
+        ch.setReceiver(n, [&rx_at, &s](const Frame &) {
+            rx_at.push_back(s.now());
+        });
+    }
+    ch.transmit(updFrame(0, 0x1000), [&] { commit_at = s.now(); });
+    s.run();
+    // Table III: 4-cycle transfer + 1-cycle collision detect. Commit
+    // (guaranteed transmission) after preamble + detect.
+    EXPECT_EQ(commit_at, 2u);
+    ASSERT_EQ(rx_at.size(), 8u); // every node, including the sender
+    for (auto t : rx_at)
+        EXPECT_EQ(t, 5u);
+    EXPECT_EQ(ch.successes(), 1u);
+    EXPECT_EQ(ch.collisionEvents(), 0u);
+}
+
+TEST(DataChannel, BackToBackFramesSerialize)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    std::vector<sim::Tick> commits;
+    ch.transmit(updFrame(0, 0x1000), [&] { commits.push_back(s.now()); });
+    s.schedule(1, [&] {
+        // Arrives while the medium is busy: carrier sense defers it,
+        // no collision.
+        ch.transmit(updFrame(1, 0x2000),
+                    [&] { commits.push_back(s.now()); });
+    });
+    s.run();
+    ASSERT_EQ(commits.size(), 2u);
+    EXPECT_EQ(commits[0], 2u);
+    EXPECT_EQ(commits[1], 7u); // second frame starts at 5, commits at 7
+    EXPECT_EQ(ch.collisionEvents(), 0u);
+}
+
+TEST(DataChannel, SimultaneousStartCollides)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    std::vector<sim::Tick> commits;
+    ch.transmit(updFrame(0, 0x1000), [&] { commits.push_back(s.now()); });
+    ch.transmit(updFrame(1, 0x2000), [&] { commits.push_back(s.now()); });
+    s.run();
+    ASSERT_EQ(commits.size(), 2u);
+    EXPECT_GE(ch.collisionEvents(), 1u);
+    // Both eventually commit, at distinct times.
+    EXPECT_NE(commits[0], commits[1]);
+    EXPECT_EQ(ch.successes(), 2u);
+}
+
+TEST(DataChannel, ManyCollidersAllEventuallySucceed)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg(16));
+    int done = 0;
+    for (sim::NodeId n = 0; n < 16; ++n)
+        ch.transmit(updFrame(n, 0x1000 + n * 64), [&] { ++done; });
+    s.run();
+    EXPECT_EQ(done, 16);
+    EXPECT_EQ(ch.successes(), 16u);
+    EXPECT_GE(ch.collisionEvents(), 1u);
+    EXPECT_GT(ch.collisionProbability(), 0.0);
+}
+
+TEST(DataChannel, JammingBlocksMatchingLine)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    auto jam = ch.startJamming(0, 0x1000);
+    sim::Tick commit_at = 0;
+    ch.transmit(updFrame(1, 0x1000), [&] { commit_at = s.now(); });
+    // Let it bang against the jammer for a while, then lift the jam.
+    s.schedule(200, [&] { ch.stopJamming(jam); });
+    s.run();
+    EXPECT_GT(commit_at, 200u);
+    EXPECT_GE(ch.jamRejects(), 1u);
+}
+
+TEST(DataChannel, JammingLetsOtherLinesThrough)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    auto jam = ch.startJamming(0, 0x1000);
+    sim::Tick commit_at = 0;
+    ch.transmit(updFrame(1, 0x2000), [&] { commit_at = s.now(); });
+    s.run();
+    EXPECT_EQ(commit_at, 2u);
+    EXPECT_EQ(ch.jamRejects(), 0u);
+    ch.stopJamming(jam);
+}
+
+TEST(DataChannel, JammingBlocksColocatedSenderToo)
+{
+    // The core on the jamming directory's own node is not exempt.
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    auto jam = ch.startJamming(0, 0x1000);
+    sim::Tick commit_at = 0;
+    ch.transmit(updFrame(0, 0x1000), [&] { commit_at = s.now(); });
+    s.schedule(100, [&] { ch.stopJamming(jam); });
+    s.run();
+    EXPECT_GT(commit_at, 100u);
+}
+
+TEST(DataChannel, JammingNeverBlocksControlFrames)
+{
+    // Directory control traffic (here a WirDwgr for the SAME line)
+    // passes even while the line's updates are jammed.
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    auto jam = ch.startJamming(0, 0x1000);
+    Frame f;
+    f.src = 1;
+    f.kind = FrameKind::WirDwgr;
+    f.lineAddr = 0x1000;
+    sim::Tick commit_at = 0;
+    ch.transmit(f, [&] { commit_at = s.now(); });
+    s.run();
+    EXPECT_EQ(commit_at, 2u);
+    ch.stopJamming(jam);
+}
+
+TEST(DataChannel, JammingFalsePositiveOnAliasedAddress)
+{
+    sim::Simulator s;
+    DataChannelConfig c = cfg();
+    c.jamAddrBits = 4; // aggressive aliasing for the test
+    DataChannel ch(s, c);
+    // Lines 0x1000 and 0x1000 + 16*64 share the low 4 line-number bits.
+    auto jam = ch.startJamming(0, 0x1000);
+    sim::Tick commit_at = 0;
+    ch.transmit(updFrame(1, 0x1000 + 16 * 64),
+                [&] { commit_at = s.now(); });
+    s.schedule(100, [&] { ch.stopJamming(jam); });
+    s.run();
+    EXPECT_GT(commit_at, 100u); // false positive blocked it
+    EXPECT_GE(ch.jamRejects(), 1u);
+}
+
+TEST(DataChannel, CancelPendingStopsTransmission)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    // Busy the channel first so the victim stays queued.
+    ch.transmit(updFrame(0, 0x1000), nullptr);
+    bool committed = false;
+    int delivered = 0;
+    for (sim::NodeId n = 0; n < 8; ++n) {
+        ch.setReceiver(n, [&delivered](const Frame &f) {
+            if (f.src == 1)
+                ++delivered;
+        });
+    }
+    auto token = ch.transmit(updFrame(1, 0x2000),
+                             [&] { committed = true; });
+    s.schedule(1, [&] { EXPECT_TRUE(ch.cancelPending(token)); });
+    s.run();
+    EXPECT_FALSE(committed);
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(ch.successes(), 1u);
+}
+
+TEST(DataChannel, BusyCyclesTracked)
+{
+    sim::Simulator s;
+    DataChannel ch(s, cfg());
+    ch.transmit(updFrame(0, 0x1000), nullptr);
+    s.run();
+    EXPECT_EQ(ch.busyCycles(), 5u);
+}
+
+TEST(ToneChannel, CensusCompletesAfterAllDrop)
+{
+    sim::Simulator s;
+    ToneChannel tone(s, 4);
+    sim::Tick silent_at = 0;
+    tone.beginCensus(4, [&] { silent_at = s.now(); });
+    for (int i = 0; i < 4; ++i) {
+        s.schedule(static_cast<sim::Tick>(10 + i), [&] {
+            tone.raise();
+            tone.drop();
+        });
+    }
+    s.run();
+    // Last drop at t=13, one-cycle tone latency -> silent at 14.
+    EXPECT_EQ(silent_at, 14u);
+    EXPECT_EQ(tone.censuses(), 1u);
+}
+
+TEST(ToneChannel, ZeroParticipantCensusIsImmediate)
+{
+    sim::Simulator s;
+    ToneChannel tone(s, 4);
+    sim::Tick silent_at = sim::kTickNever;
+    tone.beginCensus(0, [&] { silent_at = s.now(); });
+    s.run();
+    EXPECT_EQ(silent_at, 1u);
+}
+
+TEST(ToneChannel, OverlappingCensusesShareSilence)
+{
+    // The wired-OR cannot separate concurrent censuses: both complete
+    // when the whole channel falls silent (conservative).
+    sim::Simulator s;
+    ToneChannel tone(s, 4);
+    sim::Tick done_a = 0, done_b = 0;
+    tone.beginCensus(2, [&] { done_a = s.now(); });
+    s.schedule(3, [&] { tone.beginCensus(2, [&] { done_b = s.now(); }); });
+    s.schedule(5, [&] { tone.drop(); tone.drop(); });   // census A
+    s.schedule(20, [&] { tone.drop(); tone.drop(); });  // census B
+    s.run();
+    // A's own obligations finished at 5, but the channel stays loud
+    // until B's finish at 20 -> both observe silence at 21.
+    EXPECT_EQ(done_a, 21u);
+    EXPECT_EQ(done_b, 21u);
+}
+
+} // namespace
