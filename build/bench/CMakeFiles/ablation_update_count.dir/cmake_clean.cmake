@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_count.dir/ablation_update_count.cc.o"
+  "CMakeFiles/ablation_update_count.dir/ablation_update_count.cc.o.d"
+  "ablation_update_count"
+  "ablation_update_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

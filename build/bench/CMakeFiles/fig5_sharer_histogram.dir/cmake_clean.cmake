@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sharer_histogram.dir/fig5_sharer_histogram.cc.o"
+  "CMakeFiles/fig5_sharer_histogram.dir/fig5_sharer_histogram.cc.o.d"
+  "fig5_sharer_histogram"
+  "fig5_sharer_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sharer_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mpki.dir/fig6_mpki.cc.o"
+  "CMakeFiles/fig6_mpki.dir/fig6_mpki.cc.o.d"
+  "fig6_mpki"
+  "fig6_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

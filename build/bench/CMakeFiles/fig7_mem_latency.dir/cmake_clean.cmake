@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mem_latency.dir/fig7_mem_latency.cc.o"
+  "CMakeFiles/fig7_mem_latency.dir/fig7_mem_latency.cc.o.d"
+  "fig7_mem_latency"
+  "fig7_mem_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mem_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_simkernel.cc" "bench/CMakeFiles/micro_simkernel.dir/micro_simkernel.cc.o" "gcc" "bench/CMakeFiles/micro_simkernel.dir/micro_simkernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/widir_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/widir_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/widir_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

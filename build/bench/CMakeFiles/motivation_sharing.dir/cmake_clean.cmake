@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_sharing.dir/motivation_sharing.cc.o"
+  "CMakeFiles/motivation_sharing.dir/motivation_sharing.cc.o.d"
+  "motivation_sharing"
+  "motivation_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_app_mpki.dir/table4_app_mpki.cc.o"
+  "CMakeFiles/table4_app_mpki.dir/table4_app_mpki.cc.o.d"
+  "table4_app_mpki"
+  "table4_app_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_app_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_app_mpki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hops.dir/table5_hops.cc.o"
+  "CMakeFiles/table5_hops.dir/table5_hops.cc.o.d"
+  "table5_hops"
+  "table5_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sensitivity.dir/table6_sensitivity.cc.o"
+  "CMakeFiles/table6_sensitivity.dir/table6_sensitivity.cc.o.d"
+  "table6_sensitivity"
+  "table6_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

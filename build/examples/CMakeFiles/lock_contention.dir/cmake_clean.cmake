@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_contention.dir/lock_contention.cpp.o"
+  "CMakeFiles/lock_contention.dir/lock_contention.cpp.o.d"
+  "lock_contention"
+  "lock_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

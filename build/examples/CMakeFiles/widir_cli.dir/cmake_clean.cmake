@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_cli.dir/widir_cli.cpp.o"
+  "CMakeFiles/widir_cli.dir/widir_cli.cpp.o.d"
+  "widir_cli"
+  "widir_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

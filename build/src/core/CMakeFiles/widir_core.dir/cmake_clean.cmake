@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_core.dir/directory_controller.cc.o"
+  "CMakeFiles/widir_core.dir/directory_controller.cc.o.d"
+  "CMakeFiles/widir_core.dir/fabric.cc.o"
+  "CMakeFiles/widir_core.dir/fabric.cc.o.d"
+  "CMakeFiles/widir_core.dir/l1_controller.cc.o"
+  "CMakeFiles/widir_core.dir/l1_controller.cc.o.d"
+  "libwidir_core.a"
+  "libwidir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

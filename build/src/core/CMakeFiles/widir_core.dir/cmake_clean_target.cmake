@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwidir_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_cpu.dir/core.cc.o"
+  "CMakeFiles/widir_cpu.dir/core.cc.o.d"
+  "libwidir_cpu.a"
+  "libwidir_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_energy.dir/energy_model.cc.o"
+  "CMakeFiles/widir_energy.dir/energy_model.cc.o.d"
+  "libwidir_energy.a"
+  "libwidir_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_noc.dir/mesh.cc.o"
+  "CMakeFiles/widir_noc.dir/mesh.cc.o.d"
+  "libwidir_noc.a"
+  "libwidir_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_sim.dir/log.cc.o"
+  "CMakeFiles/widir_sim.dir/log.cc.o.d"
+  "libwidir_sim.a"
+  "libwidir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

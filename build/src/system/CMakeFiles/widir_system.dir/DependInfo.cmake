@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/checker.cc" "src/system/CMakeFiles/widir_system.dir/checker.cc.o" "gcc" "src/system/CMakeFiles/widir_system.dir/checker.cc.o.d"
+  "/root/repo/src/system/experiment.cc" "src/system/CMakeFiles/widir_system.dir/experiment.cc.o" "gcc" "src/system/CMakeFiles/widir_system.dir/experiment.cc.o.d"
+  "/root/repo/src/system/manycore.cc" "src/system/CMakeFiles/widir_system.dir/manycore.cc.o" "gcc" "src/system/CMakeFiles/widir_system.dir/manycore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/widir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/widir_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/widir_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/widir_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/widir_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/widir_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/widir_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_system.dir/checker.cc.o"
+  "CMakeFiles/widir_system.dir/checker.cc.o.d"
+  "CMakeFiles/widir_system.dir/experiment.cc.o"
+  "CMakeFiles/widir_system.dir/experiment.cc.o.d"
+  "CMakeFiles/widir_system.dir/manycore.cc.o"
+  "CMakeFiles/widir_system.dir/manycore.cc.o.d"
+  "libwidir_system.a"
+  "libwidir_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

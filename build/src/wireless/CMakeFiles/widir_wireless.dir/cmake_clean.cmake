@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_wireless.dir/data_channel.cc.o"
+  "CMakeFiles/widir_wireless.dir/data_channel.cc.o.d"
+  "libwidir_wireless.a"
+  "libwidir_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

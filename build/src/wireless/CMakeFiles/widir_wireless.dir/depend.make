@@ -1,0 +1,2 @@
+# Empty dependencies file for widir_wireless.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps/parsec_canneal_fluid.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/parsec_canneal_fluid.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/parsec_canneal_fluid.cc.o.d"
+  "/root/repo/src/workload/apps/parsec_compute.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/parsec_compute.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/parsec_compute.cc.o.d"
+  "/root/repo/src/workload/apps/parsec_pipeline.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/parsec_pipeline.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/parsec_pipeline.cc.o.d"
+  "/root/repo/src/workload/apps/splash_barnes_fmm.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_barnes_fmm.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_barnes_fmm.cc.o.d"
+  "/root/repo/src/workload/apps/splash_fft_radix.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_fft_radix.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_fft_radix.cc.o.d"
+  "/root/repo/src/workload/apps/splash_lu_cholesky.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_lu_cholesky.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_lu_cholesky.cc.o.d"
+  "/root/repo/src/workload/apps/splash_ocean.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_ocean.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_ocean.cc.o.d"
+  "/root/repo/src/workload/apps/splash_radiosity.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_radiosity.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_radiosity.cc.o.d"
+  "/root/repo/src/workload/apps/splash_raytrace_volrend.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_raytrace_volrend.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_raytrace_volrend.cc.o.d"
+  "/root/repo/src/workload/apps/splash_water.cc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_water.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/apps/splash_water.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/widir_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/widir_workload.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/widir_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/widir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/widir_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/widir_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/widir_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widir_workload.dir/apps/parsec_canneal_fluid.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/parsec_canneal_fluid.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/parsec_compute.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/parsec_compute.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/parsec_pipeline.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/parsec_pipeline.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/splash_barnes_fmm.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/splash_barnes_fmm.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/splash_fft_radix.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/splash_fft_radix.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/splash_lu_cholesky.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/splash_lu_cholesky.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/splash_ocean.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/splash_ocean.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/splash_radiosity.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/splash_radiosity.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/splash_raytrace_volrend.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/splash_raytrace_volrend.cc.o.d"
+  "CMakeFiles/widir_workload.dir/apps/splash_water.cc.o"
+  "CMakeFiles/widir_workload.dir/apps/splash_water.cc.o.d"
+  "CMakeFiles/widir_workload.dir/registry.cc.o"
+  "CMakeFiles/widir_workload.dir/registry.cc.o.d"
+  "libwidir_workload.a"
+  "libwidir_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widir_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_mesi.dir/test_coherence_mesi.cc.o"
+  "CMakeFiles/test_coherence_mesi.dir/test_coherence_mesi.cc.o.d"
+  "test_coherence_mesi"
+  "test_coherence_mesi.pdb"
+  "test_coherence_mesi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_mesi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_model.dir/test_cpu_model.cc.o"
+  "CMakeFiles/test_cpu_model.dir/test_cpu_model.cc.o.d"
+  "test_cpu_model"
+  "test_cpu_model.pdb"
+  "test_cpu_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

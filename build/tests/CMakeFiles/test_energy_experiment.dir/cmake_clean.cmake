@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_experiment.dir/test_energy_experiment.cc.o"
+  "CMakeFiles/test_energy_experiment.dir/test_energy_experiment.cc.o.d"
+  "test_energy_experiment"
+  "test_energy_experiment.pdb"
+  "test_energy_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

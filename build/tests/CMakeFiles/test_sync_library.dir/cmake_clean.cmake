@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_library.dir/test_sync_library.cc.o"
+  "CMakeFiles/test_sync_library.dir/test_sync_library.cc.o.d"
+  "test_sync_library"
+  "test_sync_library.pdb"
+  "test_sync_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_widir_protocol.dir/test_widir_protocol.cc.o"
+  "CMakeFiles/test_widir_protocol.dir/test_widir_protocol.cc.o.d"
+  "test_widir_protocol"
+  "test_widir_protocol.pdb"
+  "test_widir_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_widir_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_widir_races.dir/test_widir_races.cc.o"
+  "CMakeFiles/test_widir_races.dir/test_widir_races.cc.o.d"
+  "test_widir_races"
+  "test_widir_races.pdb"
+  "test_widir_races[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_widir_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wireless.dir/test_wireless.cc.o"
+  "CMakeFiles/test_wireless.dir/test_wireless.cc.o.d"
+  "test_wireless"
+  "test_wireless.pdb"
+  "test_wireless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

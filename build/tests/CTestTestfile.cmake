@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_wireless[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_mesi[1]_include.cmake")
+include("/root/repo/build/tests/test_widir_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_property_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_model[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_library[1]_include.cmake")
+include("/root/repo/build/tests/test_energy_experiment[1]_include.cmake")
+include("/root/repo/build/tests/test_widir_races[1]_include.cmake")
