@@ -14,74 +14,57 @@
 
 #include "common.h"
 
-#include "system/checker.h"
-#include "system/manycore.h"
-
-namespace {
-
-using namespace widir;
-using namespace widir::bench;
-
-struct Row
-{
-    sim::Tick cycles = 0;
-    std::uint64_t selfInv = 0;
-    std::uint64_t updates = 0;
-    std::uint64_t toShared = 0;
-};
-
-Row
-runWithThreshold(const AppInfo &app, std::uint32_t cores,
-                 std::uint32_t scale, std::uint32_t threshold)
-{
-    sys::SystemConfig cfg = sys::SystemConfig::widir(cores);
-    cfg.protocol.updateCountThreshold = threshold;
-    sys::Manycore m(cfg);
-    workload::WorkloadParams p;
-    p.scale = scale;
-    Row row;
-    row.cycles = m.run(workload::makeProgram(app, p), 2'000'000'000ull);
-    auto violations = sys::checkCoherence(m);
-    if (!violations.empty())
-        sim::fatal("ablation run incoherent: %s",
-                   violations.front().c_str());
-    row.selfInv = m.l1Totals().selfInvalidations;
-    row.updates = m.l1Totals().wirelessWrites;
-    row.toShared = m.dirTotals().toShared;
-    return row;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    using namespace widir;
+    using namespace widir::bench;
+
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(2);
+    const std::uint32_t thresholds[] = {2, 3, 4, 8, 16};
+
+    const char *subset[] = {"radiosity", "barnes", "canneal",
+                            "ocean-nc", "raytrace"};
+    std::vector<const AppInfo *> apps;
+    for (const char *name : subset) {
+        if (const AppInfo *app = workload::findApp(name))
+            apps.push_back(app);
+    }
+
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::vector<std::size_t>> idx; // [app][threshold]
+    for (const AppInfo *app : apps) {
+        std::vector<std::size_t> row;
+        for (std::uint32_t thr : thresholds)
+            row.push_back(sweep.add(*app, Protocol::WiDir, cores,
+                                    scale, 3, thr));
+        idx.push_back(std::move(row));
+    }
+    sweep.run();
 
     banner("Ablation: UpdateCount self-invalidation threshold",
            "Section III-B2 design choice");
 
-    const char *subset[] = {"radiosity", "barnes", "canneal",
-                            "ocean-nc", "raytrace"};
-    for (const char *name : subset) {
-        const AppInfo *app = workload::findApp(name);
-        if (!app)
-            continue;
-        std::printf("\n%s\n", app->name);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        std::printf("\n%s\n", apps[a]->name);
         std::printf("%-10s %10s %10s %10s %10s\n", "threshold",
                     "cycles", "self-inv", "wir.upd", "W->S");
-        for (std::uint32_t thr : {2u, 3u, 4u, 8u, 16u}) {
-            Row r = runWithThreshold(*app, cores, scale, thr);
-            std::printf("%-10u %10llu %10llu %10llu %10llu\n", thr,
+        for (std::size_t t = 0; t < std::size(thresholds); ++t) {
+            const auto &r = sweep[idx[a][t]];
+            std::printf("%-10u %10llu %10llu %10llu %10llu\n",
+                        thresholds[t],
                         static_cast<unsigned long long>(r.cycles),
-                        static_cast<unsigned long long>(r.selfInv),
-                        static_cast<unsigned long long>(r.updates),
+                        static_cast<unsigned long long>(
+                            r.selfInvalidations),
+                        static_cast<unsigned long long>(
+                            r.wirelessWrites),
                         static_cast<unsigned long long>(r.toShared));
         }
     }
     std::printf("\n(expected: self-invalidations fall monotonically "
                 "with the threshold;\n execution time is flattest "
                 "around the paper's 2-bit counter)\n");
+    sweep.writeJson("ablation_update_count");
     return 0;
 }

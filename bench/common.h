@@ -2,14 +2,23 @@
  * @file
  * Shared helpers for the experiment benches (bench/fig*_* and
  * bench/table*_*). Each bench binary regenerates one table or figure
- * of the paper: it runs the relevant (app x protocol x cores)
- * configurations through sys::runExperiment and prints the same rows
- * or series the paper reports.
+ * of the paper: it collects the relevant (app x protocol x cores)
+ * configurations, runs them concurrently through sys::SweepRunner
+ * (results are bit-identical to serial runs), prints the same rows or
+ * series the paper reports, and dumps every ExperimentResult to
+ * bench/out/<name>.json (widir-sweep-v1 schema, see
+ * src/system/report.h) so the perf trajectory is machine-readable.
+ *
+ * Command line:
+ *   --jobs N            worker threads for the sweep
  *
  * Environment:
  *   WIDIR_BENCH_SCALE   work multiplier (default per bench)
  *   WIDIR_BENCH_CORES   override the core count where applicable
  *   WIDIR_BENCH_APPS    comma-separated subset of app names
+ *   WIDIR_BENCH_JOBS    worker threads (--jobs wins; default: all
+ *                       hardware threads)
+ *   WIDIR_BENCH_OUT     JSON output directory (default bench/out)
  */
 
 #ifndef WIDIR_BENCH_COMMON_H
@@ -23,6 +32,8 @@
 #include <vector>
 
 #include "system/experiment.h"
+#include "system/report.h"
+#include "system/sweep.h"
 #include "workload/registry.h"
 
 namespace widir::bench {
@@ -43,17 +54,35 @@ benchApps()
             selected.push_back(&app);
         return selected;
     }
+    bool any_requested = false;
     std::string list(env);
     std::size_t pos = 0;
-    while (pos != std::string::npos) {
+    while (pos <= list.size()) {
         std::size_t comma = list.find(',', pos);
-        std::string name = list.substr(
-            pos, comma == std::string::npos ? comma : comma - pos);
-        if (const AppInfo *app = workload::findApp(name))
-            selected.push_back(app);
-        else
-            std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
-        pos = comma == std::string::npos ? comma : comma + 1;
+        std::size_t end = comma == std::string::npos ? list.size() : comma;
+        std::string name = list.substr(pos, end - pos);
+        // Trim surrounding whitespace; skip empty tokens so trailing
+        // or doubled commas are harmless.
+        std::size_t b = name.find_first_not_of(" \t");
+        std::size_t e = name.find_last_not_of(" \t");
+        name = b == std::string::npos
+            ? std::string()
+            : name.substr(b, e - b + 1);
+        if (!name.empty()) {
+            any_requested = true;
+            if (const AppInfo *app = workload::findApp(name))
+                selected.push_back(app);
+            else
+                std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (any_requested && selected.empty()) {
+        std::fprintf(stderr,
+                     "WIDIR_BENCH_APPS='%s' matched no known app\n", env);
+        std::exit(2);
     }
     return selected;
 }
@@ -69,6 +98,102 @@ benchCores(std::uint32_t fallback)
     }
     return fallback;
 }
+
+/** Sweep worker count: --jobs N beats WIDIR_BENCH_JOBS beats auto. */
+inline unsigned
+benchJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = nullptr;
+        if (!std::strcmp(arg, "--jobs")) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--jobs requires a value\n");
+                std::exit(2);
+            }
+            val = argv[i + 1];
+        } else if (!std::strncmp(arg, "--jobs=", 7))
+            val = arg + 7;
+        if (val) {
+            long v = std::strtol(val, nullptr, 10);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+            std::fprintf(stderr, "invalid --jobs value '%s'\n", val);
+            std::exit(2);
+        }
+    }
+    return sys::defaultJobs();
+}
+
+/**
+ * The bench pattern: phase 1 add()s every configuration (remembering
+ * the returned index), run() executes them all on the thread pool,
+ * then the printing code reads results back by index -- identical to
+ * the old serial run-as-you-print flow, just batched.
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(unsigned jobs) : runner_(jobs) {}
+
+    /** Queue one configuration; returns its result index. */
+    std::size_t
+    add(const AppInfo &app, Protocol proto, std::uint32_t cores,
+        std::uint32_t scale, std::uint32_t max_wired_sharers = 3,
+        std::uint32_t update_count_threshold = 0)
+    {
+        ExperimentSpec spec;
+        spec.app = &app;
+        spec.protocol = proto;
+        spec.cores = cores;
+        spec.scale = scale;
+        spec.maxWiredSharers = max_wired_sharers;
+        spec.updateCountThreshold = update_count_threshold;
+        specs_.push_back(spec);
+        return specs_.size() - 1;
+    }
+
+    /** Run every queued spec (in parallel, results in add() order). */
+    void
+    run()
+    {
+        results_ = runner_.run(specs_);
+    }
+
+    const ExperimentResult &
+    operator[](std::size_t i) const
+    {
+        return results_.at(i);
+    }
+
+    const std::vector<ExperimentResult> &results() const
+    {
+        return results_;
+    }
+
+    std::size_t size() const { return specs_.size(); }
+    unsigned jobs() const { return runner_.jobs(); }
+
+    /**
+     * Dump every result to <WIDIR_BENCH_OUT|bench/out>/<name>.json
+     * and report where it went.
+     */
+    void
+    writeJson(const char *bench_name) const
+    {
+        const char *dir = std::getenv("WIDIR_BENCH_OUT");
+        std::string path = std::string(dir && *dir ? dir : "bench/out") +
+                           "/" + bench_name + ".json";
+        if (sys::writeResultsJson(path, bench_name, results_))
+            std::printf("[%zu results -> %s]\n", results_.size(),
+                        path.c_str());
+    }
+
+  private:
+    sys::SweepRunner runner_;
+    std::vector<ExperimentSpec> specs_;
+    std::vector<ExperimentResult> results_;
+};
 
 /** Run one app under one protocol with bench-standard settings. */
 inline ExperimentResult

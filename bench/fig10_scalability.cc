@@ -7,15 +7,15 @@
  * protocol.
  *
  * Speedups are computed per app relative to that app's 4-core
- * Baseline run, then averaged (geometric mean).
+ * Baseline run, then averaged (geometric mean). The 4-core Baseline
+ * run doubles as the reference, so the whole figure is one sweep of
+ * apps x protocols x core counts.
  */
 
 #include "common.h"
 
-#include <map>
-
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
@@ -23,31 +23,41 @@ main()
     std::uint32_t scale = sys::benchScale(4);
     const std::uint32_t core_counts[] = {4, 16, 32, 64};
 
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    // bi[c][a] / wi[c][a]: indices per core count x app; the 4-core
+    // Baseline row is also the per-app reference.
+    std::vector<std::vector<std::size_t>> bi, wi;
+    for (std::uint32_t cores : core_counts) {
+        std::vector<std::size_t> brow, wrow;
+        for (const AppInfo *app : apps) {
+            brow.push_back(sweep.add(*app, Protocol::BaselineMESI,
+                                     cores, scale));
+            wrow.push_back(sweep.add(*app, Protocol::WiDir, cores,
+                                     scale));
+        }
+        bi.push_back(std::move(brow));
+        wi.push_back(std::move(wrow));
+    }
+    sweep.run();
+
     banner("Fig. 10: speedup over the 4-core Baseline", "Figure 10");
 
-    // Per-app 4-core baseline reference.
-    std::map<std::string, double> reference;
-    for (const AppInfo *app : benchApps()) {
-        auto r = run(*app, Protocol::BaselineMESI, 4, scale);
-        reference[app->name] = static_cast<double>(r.cycles);
-    }
-
     std::printf("%-8s %14s %14s\n", "cores", "baseline", "widir");
-    for (std::uint32_t cores : core_counts) {
+    for (std::size_t c = 0; c < std::size(core_counts); ++c) {
         std::vector<double> base_speedups, widir_speedups;
-        for (const AppInfo *app : benchApps()) {
-            double ref = reference[app->name];
-            auto base = run(*app, Protocol::BaselineMESI, cores, scale);
-            auto widir = run(*app, Protocol::WiDir, cores, scale);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            double ref = static_cast<double>(sweep[bi[0][i]].cycles);
             base_speedups.push_back(
-                ref / static_cast<double>(base.cycles));
+                ref / static_cast<double>(sweep[bi[c][i]].cycles));
             widir_speedups.push_back(
-                ref / static_cast<double>(widir.cycles));
+                ref / static_cast<double>(sweep[wi[c][i]].cycles));
         }
-        std::printf("%-8u %14.2f %14.2f\n", cores,
+        std::printf("%-8u %14.2f %14.2f\n", core_counts[c],
                     geomean(base_speedups), geomean(widir_speedups));
     }
     std::printf("---\n(paper: curves overlap through 16 cores, then "
                 "WiDir pulls ahead at 32-64)\n");
+    sweep.writeJson("fig10_scalability");
     return 0;
 }

@@ -9,7 +9,7 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
@@ -17,18 +17,25 @@ main()
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::size_t> idx;
+    for (const AppInfo *app : apps)
+        idx.push_back(sweep.add(*app, Protocol::WiDir, cores, scale));
+    sweep.run();
+
     banner("Fig. 5: sharers updated per wireless write (WiDir)",
            "Figure 5");
     std::printf("%-14s %8s %8s %8s %8s %8s | %9s\n", "app", "<=5",
                 "6-10", "11-25", "26-49", "50+", "updates");
 
     std::vector<std::uint64_t> total(5, 0);
-    for (const AppInfo *app : benchApps()) {
-        auto r = run(*app, Protocol::WiDir, cores, scale);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &r = sweep[idx[i]];
         std::uint64_t updates = 0;
         for (auto c : r.sharersUpdatedBins)
             updates += c;
-        std::printf("%-14s", app->name);
+        std::printf("%-14s", apps[i]->name);
         for (std::size_t b = 0; b < 5 && b < r.sharersUpdatedBins.size();
              ++b) {
             double frac = updates
@@ -52,5 +59,6 @@ main()
                           : 0.0);
     }
     std::printf("\n(paper averages: <=5 ~36%%, 50+ ~37%%)\n");
+    sweep.writeJson("fig5_sharer_histogram");
     return 0;
 }

@@ -8,7 +8,7 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
@@ -16,24 +16,34 @@ main()
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::size_t> bi, wi;
+    for (const AppInfo *app : apps) {
+        bi.push_back(sweep.add(*app, Protocol::BaselineMESI, cores, scale));
+        wi.push_back(sweep.add(*app, Protocol::WiDir, cores, scale));
+    }
+    sweep.run();
+
     banner("Fig. 6: normalized MPKI (read + write), WiDir vs Baseline",
            "Figure 6");
     std::printf("%-14s %8s %8s | %8s %8s | %10s\n", "app", "base.rd",
                 "base.wr", "widir.rd", "widir.wr", "norm.total");
 
     std::vector<double> ratios;
-    for (const AppInfo *app : benchApps()) {
-        auto base = run(*app, Protocol::BaselineMESI, cores, scale);
-        auto widir = run(*app, Protocol::WiDir, cores, scale);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &base = sweep[bi[i]];
+        const auto &widir = sweep[wi[i]];
         double norm = base.mpki() > 0.0 ? widir.mpki() / base.mpki()
                                         : 1.0;
         ratios.push_back(norm);
         std::printf("%-14s %8.2f %8.2f | %8.2f %8.2f | %10.3f\n",
-                    app->name, base.readMpki(), base.writeMpki(),
+                    apps[i]->name, base.readMpki(), base.writeMpki(),
                     widir.readMpki(), widir.writeMpki(), norm);
     }
     std::printf("---\naverage normalized MPKI: %.3f  "
                 "(paper: ~0.85, i.e. 15%% lower than Baseline)\n",
                 mean(ratios));
+    sweep.writeJson("fig6_mpki");
     return 0;
 }

@@ -9,7 +9,7 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
@@ -17,15 +17,25 @@ main()
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::size_t> bi, wi;
+    for (const AppInfo *app : apps) {
+        bi.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,
+                               scale));
+        wi.push_back(sweep.add(*app, Protocol::WiDir, cores, scale));
+    }
+    sweep.run();
+
     banner("Fig. 7: normalized total memory-op latency (loads+stores)",
            "Figure 7");
     std::printf("%-14s %12s %12s %12s %12s | %8s\n", "app", "base.ld",
                 "base.st", "widir.ld", "widir.st", "norm");
 
     std::vector<double> ratios;
-    for (const AppInfo *app : benchApps()) {
-        auto base = run(*app, Protocol::BaselineMESI, cores, scale);
-        auto widir = run(*app, Protocol::WiDir, cores, scale);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &base = sweep[bi[i]];
+        const auto &widir = sweep[wi[i]];
         double base_total = static_cast<double>(base.loadLatencySum +
                                                 base.storeLatencySum);
         double widir_total = static_cast<double>(widir.loadLatencySum +
@@ -33,7 +43,7 @@ main()
         double norm = base_total > 0.0 ? widir_total / base_total : 1.0;
         ratios.push_back(norm);
         std::printf("%-14s %12llu %12llu %12llu %12llu | %8.3f\n",
-                    app->name,
+                    apps[i]->name,
                     static_cast<unsigned long long>(base.loadLatencySum),
                     static_cast<unsigned long long>(base.storeLatencySum),
                     static_cast<unsigned long long>(widir.loadLatencySum),
@@ -43,5 +53,6 @@ main()
     std::printf("---\naverage normalized memory latency: %.3f "
                 "(paper: ~0.65, i.e. 35%% lower)\n",
                 mean(ratios));
+    sweep.writeJson("fig7_mem_latency");
     return 0;
 }

@@ -10,25 +10,43 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
 
     std::uint32_t scale = sys::benchScale(4);
+    const std::uint32_t core_counts[] = {64, 32, 16};
+
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    // bi[c][a] / wi[c][a]: indices per core count x app.
+    std::vector<std::vector<std::size_t>> bi, wi;
+    for (std::uint32_t cores : core_counts) {
+        std::vector<std::size_t> brow, wrow;
+        for (const AppInfo *app : apps) {
+            brow.push_back(sweep.add(*app, Protocol::BaselineMESI,
+                                     cores, scale));
+            wrow.push_back(sweep.add(*app, Protocol::WiDir, cores,
+                                     scale));
+        }
+        bi.push_back(std::move(brow));
+        wi.push_back(std::move(wrow));
+    }
+    sweep.run();
 
     banner("Fig. 8: normalized execution time (memory stall + rest)",
            "Figure 8 (a,b,c)");
 
-    for (std::uint32_t cores : {64u, 32u, 16u}) {
-        std::printf("\n--- %u cores ---\n", cores);
+    for (std::size_t c = 0; c < std::size(core_counts); ++c) {
+        std::printf("\n--- %u cores ---\n", core_counts[c]);
         std::printf("%-14s %10s %7s | %10s %7s | %8s\n", "app",
                     "base.cyc", "stall%", "widir.cyc", "stall%",
                     "norm");
         std::vector<double> ratios;
-        for (const AppInfo *app : benchApps()) {
-            auto base = run(*app, Protocol::BaselineMESI, cores, scale);
-            auto widir = run(*app, Protocol::WiDir, cores, scale);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            const auto &base = sweep[bi[c][i]];
+            const auto &widir = sweep[wi[c][i]];
             double norm = base.cycles
                 ? static_cast<double>(widir.cycles) /
                       static_cast<double>(base.cycles)
@@ -36,16 +54,17 @@ main()
             ratios.push_back(norm);
             std::printf("%-14s %10llu %6.1f%% | %10llu %6.1f%% |"
                         " %8.3f\n",
-                        app->name,
+                        apps[i]->name,
                         static_cast<unsigned long long>(base.cycles),
                         100.0 * base.memStallFraction(),
                         static_cast<unsigned long long>(widir.cycles),
                         100.0 * widir.memStallFraction(), norm);
         }
         std::printf("average normalized time at %u cores: %.3f\n",
-                    cores, mean(ratios));
+                    core_counts[c], mean(ratios));
     }
     std::printf("---\n(paper averages: 0.78 at 64, 0.89 at 32, "
                 "0.96 at 16 cores)\n");
+    sweep.writeJson("fig8_exec_time");
     return 0;
 }

@@ -10,13 +10,23 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
 
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
+
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::size_t> bi, wi;
+    for (const AppInfo *app : apps) {
+        bi.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,
+                               scale));
+        wi.push_back(sweep.add(*app, Protocol::WiDir, cores, scale));
+    }
+    sweep.run();
 
     banner("Fig. 9: normalized energy breakdown", "Figure 9");
     std::printf("%-14s | %-31s | %-37s | %6s\n", "app",
@@ -27,9 +37,9 @@ main()
     double base_share[4] = {0, 0, 0, 0};
     double widir_wnoc_share = 0.0;
     int n = 0;
-    for (const AppInfo *app : benchApps()) {
-        auto base = run(*app, Protocol::BaselineMESI, cores, scale);
-        auto widir = run(*app, Protocol::WiDir, cores, scale);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &base = sweep[bi[i]];
+        const auto &widir = sweep[wi[i]];
         double bt = base.energy.total();
         double wt = widir.energy.total();
         double norm = bt > 0.0 ? wt / bt : 1.0;
@@ -42,7 +52,7 @@ main()
         ++n;
         std::printf("%-14s | %5.1f%% %5.1f%% %5.1f%% %5.1f%%      | "
                     "%5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% | %6.3f\n",
-                    app->name, 100 * base.energy.core / bt,
+                    apps[i]->name, 100 * base.energy.core / bt,
                     100 * base.energy.l1 / bt,
                     100 * base.energy.l2dir / bt,
                     100 * base.energy.noc / bt,
@@ -59,5 +69,6 @@ main()
                 mean(ratios), 100 * base_share[0] / n,
                 100 * base_share[1] / n, 100 * base_share[2] / n,
                 100 * base_share[3] / n, 100 * widir_wnoc_share / n);
+    sweep.writeJson("fig9_energy");
     return 0;
 }

@@ -25,13 +25,23 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
 
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
+
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::size_t> wi, bi;
+    for (const AppInfo *app : apps) {
+        wi.push_back(sweep.add(*app, Protocol::WiDir, cores, scale));
+        bi.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,
+                               scale));
+    }
+    sweep.run();
 
     banner("Section II-C motivation: sharer accumulation & re-reads",
            "Section II-C");
@@ -41,9 +51,9 @@ main()
     double sharer_sum = 0.0;
     double reread_sum = 0.0;
     int n = 0;
-    for (const AppInfo *app : benchApps()) {
+    for (std::size_t i = 0; i < apps.size(); ++i) {
         // (i) group size under update semantics: WiDir's W state.
-        auto widir = run(*app, Protocol::WiDir, cores, scale);
+        const auto &widir = sweep[wi[i]];
         double weighted = 0.0;
         std::uint64_t updates = 0;
         static const double mid[5] = {3, 8, 18, 37, 56};
@@ -58,7 +68,7 @@ main()
 
         // (ii) re-read fraction in the Baseline: how many of the
         // coherence (invalidation-caused) misses are reads.
-        auto base = run(*app, Protocol::BaselineMESI, cores, scale);
+        const auto &base = sweep[bi[i]];
         double rereads = base.readMisses + base.writeMisses > 0
             ? static_cast<double>(base.readMisses) /
                   static_cast<double>(base.readMisses +
@@ -70,13 +80,14 @@ main()
             reread_sum += rereads;
             ++n;
         }
-        std::printf("%-14s %18.1f %17.1f%%\n", app->name, avg_sharers,
-                    100.0 * rereads);
+        std::printf("%-14s %18.1f %17.1f%%\n", apps[i]->name,
+                    avg_sharers, 100.0 * rereads);
     }
     if (n) {
         std::printf("---\naverages: %.1f sharers (paper ~21), "
                     "%.0f%% re-read (paper ~56%%)\n", sharer_sum / n,
                     100.0 * reread_sum / n);
     }
+    sweep.writeJson("motivation_sharing");
     return 0;
 }

@@ -7,7 +7,7 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
@@ -15,16 +15,25 @@ main()
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::size_t> idx;
+    for (const AppInfo *app : apps)
+        idx.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,
+                                scale));
+    sweep.run();
+
     banner("Table IV: application L1 MPKI under Baseline",
            "Table IV");
     std::printf("%-14s %-9s %10s %10s %8s\n", "app", "suite",
                 "mpki(sim)", "mpki(ppr)", "cycles");
 
-    for (const AppInfo *app : benchApps()) {
-        auto r = run(*app, Protocol::BaselineMESI, cores, scale);
-        std::printf("%-14s %-9s %10.2f %10.2f %8llu\n", app->name,
-                    app->suite, r.mpki(), app->paperMpki,
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &r = sweep[idx[i]];
+        std::printf("%-14s %-9s %10.2f %10.2f %8llu\n", apps[i]->name,
+                    apps[i]->suite, r.mpki(), apps[i]->paperMpki,
                     static_cast<unsigned long long>(r.cycles));
     }
+    sweep.writeJson("table4_app_mpki");
     return 0;
 }

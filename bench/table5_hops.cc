@@ -9,7 +9,7 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
@@ -17,18 +17,26 @@ main()
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    std::vector<std::size_t> idx;
+    for (const AppInfo *app : apps)
+        idx.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,
+                                scale));
+    sweep.run();
+
     banner("Table V: wired hops per message leg (Baseline, 64 cores)",
            "Table V");
     std::printf("%-14s %8s %8s %8s %8s %8s | %10s\n", "app", "0-2",
                 "3-5", "6-8", "9-11", "12-16", "messages");
 
     std::vector<std::uint64_t> total(5, 0);
-    for (const AppInfo *app : benchApps()) {
-        auto r = run(*app, Protocol::BaselineMESI, cores, scale);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &r = sweep[idx[i]];
         std::uint64_t msgs = 0;
         for (auto c : r.hopBinCounts)
             msgs += c;
-        std::printf("%-14s", app->name);
+        std::printf("%-14s", apps[i]->name);
         for (std::size_t b = 0; b < 5 && b < r.hopBinCounts.size();
              ++b) {
             total[b] += r.hopBinCounts[b];
@@ -53,5 +61,6 @@ main()
     }
     std::printf("\n(paper:            17%%     22%%     31%%     21%%"
                 "      9%%)\n");
+    sweep.writeJson("table5_hops");
     return 0;
 }

@@ -13,44 +13,56 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace widir;
     using namespace widir::bench;
 
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
+    const std::uint32_t thresholds[] = {2, 3, 4, 5};
+
+    auto apps = benchApps();
+    Sweep sweep(benchJobs(argc, argv));
+    // Baseline reference per app (independent of the threshold), then
+    // one WiDir run per (threshold x app).
+    std::vector<std::size_t> bi;
+    std::vector<std::vector<std::size_t>> wi;
+    for (const AppInfo *app : apps)
+        bi.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,
+                               scale));
+    for (std::uint32_t mws : thresholds) {
+        std::vector<std::size_t> row;
+        for (const AppInfo *app : apps)
+            row.push_back(sweep.add(*app, Protocol::WiDir, cores,
+                                    scale, mws));
+        wi.push_back(std::move(row));
+    }
+    sweep.run();
 
     banner("Table VI: MaxWiredSharers sensitivity (64 cores)",
            "Table VI");
 
-    // Baseline reference per app (independent of the threshold).
-    std::vector<double> base_cycles;
-    auto the_apps = benchApps();
-    for (const AppInfo *app : the_apps) {
-        auto r = run(*app, Protocol::BaselineMESI, cores, scale);
-        base_cycles.push_back(static_cast<double>(r.cycles));
-    }
-
     std::printf("%-16s %12s %12s\n", "MaxWiredSharers", "speedup",
                 "coll.prob");
-    for (std::uint32_t mws : {2u, 3u, 4u, 5u}) {
+    for (std::size_t t = 0; t < std::size(thresholds); ++t) {
         std::vector<double> speedups;
         double coll_num = 0.0;
         int coll_n = 0;
-        for (std::size_t i = 0; i < the_apps.size(); ++i) {
-            auto r = run(*the_apps[i], Protocol::WiDir, cores, scale,
-                         mws);
-            speedups.push_back(base_cycles[i] /
-                               static_cast<double>(r.cycles));
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            const auto &r = sweep[wi[t][i]];
+            speedups.push_back(
+                static_cast<double>(sweep[bi[i]].cycles) /
+                static_cast<double>(r.cycles));
             coll_num += r.collisionProbability;
             ++coll_n;
         }
-        std::printf("%-16u %11.2fx %11.2f%%\n", mws,
+        std::printf("%-16u %11.2fx %11.2f%%\n", thresholds[t],
                     geomean(speedups),
                     100.0 * coll_num / (coll_n ? coll_n : 1));
     }
     std::printf("---\n(paper: 1.22x/6.93%%, 1.43x/3.14%%, "
                 "1.38x/2.24%%, 1.31x/1.70%% for 2/3/4/5)\n");
+    sweep.writeJson("table6_sensitivity");
     return 0;
 }

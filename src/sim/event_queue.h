@@ -11,6 +11,7 @@
 #ifndef WIDIR_SIM_EVENT_QUEUE_H
 #define WIDIR_SIM_EVENT_QUEUE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -87,14 +88,22 @@ class EventQueue
 
     /**
      * Run until the queue drains or @p limit ticks is exceeded.
+     *
+     * On the limit path, time advances to @p limit even though the
+     * next event lies beyond it: callers that interleave run(t) with
+     * schedule(delay, ...) must see now() == t, not the tick of the
+     * last executed event, or the delays they compute are stale.
+     *
      * @return true if the queue drained, false if the limit was hit.
      */
     bool
     run(Tick limit = kTickNever)
     {
         while (!heap_.empty()) {
-            if (heap_.top().when > limit)
+            if (heap_.top().when > limit) {
+                now_ = std::max(now_, limit);
                 return false;
+            }
             step();
         }
         return true;

@@ -1,5 +1,6 @@
 #include "sim/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,12 +8,15 @@
 namespace widir::sim {
 
 namespace {
-LogLevel g_threshold = LogLevel::Warn;
+// The only process-wide mutable state in the sim layer. Atomic so
+// concurrent experiment sweeps (sys::SweepRunner) can log safely;
+// each emit is a single fprintf, which stdio serializes.
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
 
 void
 emit(LogLevel level, const char *tag, const char *fmt, std::va_list ap)
 {
-    if (level < g_threshold)
+    if (level < g_threshold.load(std::memory_order_relaxed))
         return;
     std::string body = vstrfmt(fmt, ap);
     std::fprintf(stderr, "%s: %s\n", tag, body.c_str());
@@ -22,15 +26,13 @@ emit(LogLevel level, const char *tag, const char *fmt, std::va_list ap)
 LogLevel
 logThreshold()
 {
-    return g_threshold;
+    return g_threshold.load(std::memory_order_relaxed);
 }
 
 LogLevel
 setLogThreshold(LogLevel level)
 {
-    LogLevel prev = g_threshold;
-    g_threshold = level;
-    return prev;
+    return g_threshold.exchange(level, std::memory_order_relaxed);
 }
 
 std::string

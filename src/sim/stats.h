@@ -149,6 +149,7 @@ class Distribution
     sample(double v)
     {
         values_.push_back(v);
+        sortedValid_ = false;
     }
 
     std::uint64_t count() const { return values_.size(); }
@@ -170,20 +171,34 @@ class Distribution
         WIDIR_ASSERT(p >= 0.0 && p <= 1.0, "percentile must be in [0,1]");
         if (values_.empty())
             return 0.0;
-        std::vector<double> sorted = values_;
-        std::sort(sorted.begin(), sorted.end());
+        // Sort once per batch of samples: min()/max()/multi-percentile
+        // reports all share the cached order instead of re-sorting
+        // O(n log n) on every call.
+        if (!sortedValid_) {
+            sorted_ = values_;
+            std::sort(sorted_.begin(), sorted_.end());
+            sortedValid_ = true;
+        }
         auto idx = static_cast<std::size_t>(
-            p * static_cast<double>(sorted.size() - 1) + 0.5);
-        return sorted[std::min(idx, sorted.size() - 1)];
+            p * static_cast<double>(sorted_.size() - 1) + 0.5);
+        return sorted_[std::min(idx, sorted_.size() - 1)];
     }
 
     double min() const { return percentile(0.0); }
     double max() const { return percentile(1.0); }
 
-    void reset() { values_.clear(); }
+    void
+    reset()
+    {
+        values_.clear();
+        sorted_.clear();
+        sortedValid_ = false;
+    }
 
   private:
     std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
 };
 
 } // namespace widir::sim

@@ -67,6 +67,8 @@ runExperiment(const ExperimentSpec &spec)
             : SystemConfig::baseline(spec.cores);
     cfg.seed = spec.seed;
     cfg.protocol.maxWiredSharers = spec.maxWiredSharers;
+    if (spec.updateCountThreshold > 0)
+        cfg.protocol.updateCountThreshold = spec.updateCountThreshold;
     // Table VI sweeps the threshold; the paper's constraint is
     // MaxWiredSharers <= sharer pointers, so grow Dir_iB accordingly.
     cfg.protocol.dirPointers =
@@ -81,6 +83,9 @@ runExperiment(const ExperimentSpec &spec)
     r.protocol = spec.protocol;
     r.cores = spec.cores;
     r.seed = spec.seed;
+    r.scale = spec.scale;
+    r.maxWiredSharers = spec.maxWiredSharers;
+    r.updateCountThreshold = cfg.protocol.updateCountThreshold;
     r.cycles = m.run(workload::makeProgram(*spec.app, params),
                      2'000'000'000ull);
 
@@ -113,6 +118,7 @@ runExperiment(const ExperimentSpec &spec)
     for (const auto &bin : sharers.bins())
         r.sharersUpdatedBins.push_back(bin.count);
     r.wirelessWrites = l1.wirelessWrites;
+    r.selfInvalidations = l1.selfInvalidations;
     r.toWireless = dir.toWireless;
     r.toShared = dir.toShared;
     if (auto *ch = m.dataChannel())

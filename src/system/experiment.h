@@ -33,6 +33,9 @@ struct ExperimentResult
     coherence::Protocol protocol;
     std::uint32_t cores = 0;
     std::uint64_t seed = 0;
+    std::uint32_t scale = 1;
+    std::uint32_t maxWiredSharers = 3;
+    std::uint32_t updateCountThreshold = 0; ///< effective value
 
     sim::Tick cycles = 0;
     std::uint64_t instructions = 0;
@@ -71,6 +74,7 @@ struct ExperimentResult
     /// @{
     std::vector<std::uint64_t> sharersUpdatedBins; ///< <=5,...,50+
     std::uint64_t wirelessWrites = 0;
+    std::uint64_t selfInvalidations = 0; ///< UpdateCount expiries
     double collisionProbability = 0.0;
     std::uint64_t toWireless = 0;
     std::uint64_t toShared = 0;
@@ -91,6 +95,8 @@ struct ExperimentSpec
     std::uint32_t scale = 1;
     std::uint64_t seed = 1;
     std::uint32_t maxWiredSharers = 3; ///< Table VI sweeps this
+    /** 0 keeps the ProtocolConfig default (ablation bench sweeps it). */
+    std::uint32_t updateCountThreshold = 0;
 };
 
 /** Run one configuration to completion and gather the metrics. */

@@ -1,0 +1,66 @@
+#include "system/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/log.h"
+
+namespace widir::sys {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("WIDIR_BENCH_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+        sim::warn("ignoring invalid WIDIR_BENCH_JOBS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<ExperimentSpec> &specs) const
+{
+    std::vector<ExperimentResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    unsigned workers = jobs_;
+    if (workers > specs.size())
+        workers = static_cast<unsigned>(specs.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            results[i] = runExperiment(specs[i]);
+        return results;
+    }
+
+    // Dynamic scheduling, deterministic output: workers claim the next
+    // unclaimed spec index and write into their slot. Each simulation
+    // builds its own Manycore, so runs share nothing mutable.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            results[i] = runExperiment(specs[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace widir::sys

@@ -126,13 +126,18 @@ DataChannel::scheduleEval()
     if (earliest == sim::kTickNever)
         return;
     earliest = std::max({earliest, busyUntil_, sim_.now()});
-    if (evalScheduled_ && evalAt_ <= earliest)
-        return;
-    evalScheduled_ = true;
+    if (evalAt_ != sim::kTickNever && evalAt_ <= earliest)
+        return; // an already-scheduled pass covers this instant
+    // Supersede any later scheduled pass: bump the generation so the
+    // stale callback returns without evaluating (the old code let it
+    // run evaluate() a second time -- wasted events, and a hazard the
+    // moment evaluate() stops being idempotent).
     evalAt_ = earliest;
-    sim_.scheduleAt(earliest, [this, when = earliest] {
-        if (evalAt_ == when)
-            evalScheduled_ = false;
+    std::uint64_t gen = ++evalGen_;
+    sim_.scheduleAt(earliest, [this, gen] {
+        if (gen != evalGen_)
+            return; // superseded by an earlier reschedule
+        evalAt_ = sim::kTickNever;
         evaluate();
     });
 }

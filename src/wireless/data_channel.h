@@ -184,8 +184,14 @@ class DataChannel
     std::vector<PendingTx> pending_;
     std::vector<JamFilter> jams_;
     Tick busyUntil_ = 0;
-    bool evalScheduled_ = false;
-    Tick evalAt_ = 0;
+    /**
+     * Earliest tick an arbitration pass is scheduled for, or
+     * kTickNever when none is live. Each (re)schedule bumps the
+     * generation; a callback whose generation is stale was superseded
+     * by an earlier pass and must not evaluate again.
+     */
+    Tick evalAt_ = sim::kTickNever;
+    std::uint64_t evalGen_ = 0;
     /**
      * A frame's delivery event is still pending for this tick: the
      * next arbitration must run after it (physically, a transmitter

@@ -185,4 +185,70 @@ TEST(Stats, DistributionPercentiles)
     EXPECT_DOUBLE_EQ(d.mean(), 50.5);
 }
 
+TEST(Stats, DistributionInterleavedSampleAndPercentile)
+{
+    // The sorted view is cached between percentile calls; new samples
+    // must invalidate it or later percentiles read stale data.
+    sim::Distribution d;
+    d.sample(10.0);
+    d.sample(30.0);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 30.0);
+
+    d.sample(5.0); // below the cached min
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    d.sample(99.0); // above the cached max
+    EXPECT_DOUBLE_EQ(d.max(), 99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 30.0);
+    // Repeated queries on an unchanged sample set agree.
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 30.0);
+    EXPECT_EQ(d.count(), 4u);
+
+    d.reset();
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    d.sample(7.0);
+    EXPECT_DOUBLE_EQ(d.min(), 7.0);
+    EXPECT_DOUBLE_EQ(d.max(), 7.0);
+}
+
+TEST(EventQueue, RunLimitAdvancesNowToLimit)
+{
+    // Regression: run(limit) used to leave now() at the last executed
+    // event, so callers interleaving run(t) with schedule(delay, ...)
+    // computed delays from a stale "now".
+    sim::EventQueue q;
+    int fired = 0;
+    q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(100, [&] { ++fired; });
+    EXPECT_FALSE(q.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u); // horizon reached, not stuck at 10
+
+    // Delays computed from "now" land where the caller expects.
+    q.schedule(25, [&] { ++fired; });
+    EXPECT_FALSE(q.run(80));
+    EXPECT_EQ(fired, 2); // the 50+25=75 event ran
+    EXPECT_EQ(q.now(), 80u);
+
+    // A limit at or before now() must not move time backwards.
+    EXPECT_FALSE(q.run(40));
+    EXPECT_EQ(q.now(), 80u);
+
+    // Draining past the last event leaves now() at that event.
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunLimitAdvancesEvenWithNoEligibleEvents)
+{
+    sim::EventQueue q;
+    q.scheduleAt(1000, [] {});
+    EXPECT_FALSE(q.run(1));
+    EXPECT_EQ(q.now(), 1u);
+    EXPECT_FALSE(q.run(999));
+    EXPECT_EQ(q.now(), 999u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
 } // namespace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SweepRunner tests: a parallel sweep must be a drop-in replacement
+ * for running the same specs serially -- results in spec order,
+ * field-for-field identical regardless of worker count. This is the
+ * guard on runExperiment's re-entrancy: any shared mutable state
+ * between concurrent simulations shows up here as a diff (or a
+ * crash under a sanitizer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "system/sweep.h"
+#include "workload/registry.h"
+
+namespace {
+
+using namespace widir;
+using sys::ExperimentResult;
+using sys::ExperimentSpec;
+using sys::SweepRunner;
+
+ExperimentSpec
+spec(const char *app, coherence::Protocol proto, std::uint32_t cores)
+{
+    ExperimentSpec s;
+    s.app = workload::findApp(app);
+    EXPECT_NE(s.app, nullptr) << app;
+    s.protocol = proto;
+    s.cores = cores;
+    s.scale = 1;
+    return s;
+}
+
+/** Mixed 8+ spec batch exercising both protocols and wireless load. */
+std::vector<ExperimentSpec>
+mixedBatch()
+{
+    using coherence::Protocol;
+    std::vector<ExperimentSpec> specs;
+    for (const char *app : {"radiosity", "barnes", "fft",
+                            "blackscholes"}) {
+        specs.push_back(spec(app, Protocol::BaselineMESI, 16));
+        specs.push_back(spec(app, Protocol::WiDir, 16));
+    }
+    // A couple of off-default configurations too.
+    specs.push_back(spec("radix", Protocol::WiDir, 16));
+    specs.back().maxWiredSharers = 2;
+    specs.push_back(spec("water-spa", Protocol::WiDir, 16));
+    specs.back().updateCountThreshold = 8;
+    return specs;
+}
+
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b)
+{
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.protocol, b.protocol);
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.scale, b.scale);
+    EXPECT_EQ(a.maxWiredSharers, b.maxWiredSharers);
+    EXPECT_EQ(a.updateCountThreshold, b.updateCountThreshold);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.readMisses, b.readMisses);
+    EXPECT_EQ(a.writeMisses, b.writeMisses);
+    EXPECT_EQ(a.memStallCycles, b.memStallCycles);
+    EXPECT_EQ(a.totalCoreCycles, b.totalCoreCycles);
+    EXPECT_EQ(a.loadLatencySum, b.loadLatencySum);
+    EXPECT_EQ(a.storeLatencySum, b.storeLatencySum);
+    EXPECT_EQ(a.hopBinCounts, b.hopBinCounts);
+    EXPECT_EQ(a.wiredMessages, b.wiredMessages);
+    EXPECT_EQ(a.sharersUpdatedBins, b.sharersUpdatedBins);
+    EXPECT_EQ(a.wirelessWrites, b.wirelessWrites);
+    EXPECT_EQ(a.selfInvalidations, b.selfInvalidations);
+    EXPECT_EQ(a.collisionProbability, b.collisionProbability);
+    EXPECT_EQ(a.toWireless, b.toWireless);
+    EXPECT_EQ(a.toShared, b.toShared);
+    EXPECT_EQ(a.energy.core, b.energy.core);
+    EXPECT_EQ(a.energy.l1, b.energy.l1);
+    EXPECT_EQ(a.energy.l2dir, b.energy.l2dir);
+    EXPECT_EQ(a.energy.noc, b.energy.noc);
+    EXPECT_EQ(a.energy.wnoc, b.energy.wnoc);
+}
+
+TEST(SweepRunner, ResolvesJobCount)
+{
+    EXPECT_GE(SweepRunner(0).jobs(), 1u);
+    EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+TEST(SweepRunner, EmptySweep)
+{
+    SweepRunner runner(4);
+    EXPECT_TRUE(runner.run({}).empty());
+}
+
+TEST(SweepRunner, ParallelMatchesSerialFieldForField)
+{
+    auto specs = mixedBatch();
+    ASSERT_GE(specs.size(), 8u);
+
+    auto serial = SweepRunner(1).run(specs);
+    auto parallel = SweepRunner(4).run(specs);
+
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].app->name);
+        // Order preserved: slot i belongs to spec i.
+        EXPECT_EQ(serial[i].app, specs[i].app->name);
+        expectIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(SweepRunner, MoreWorkersThanSpecs)
+{
+    using coherence::Protocol;
+    std::vector<ExperimentSpec> specs = {
+        spec("blackscholes", Protocol::WiDir, 16),
+        spec("fft", Protocol::BaselineMESI, 16),
+    };
+    auto serial = SweepRunner(1).run(specs);
+    auto wide = SweepRunner(8).run(specs);
+    ASSERT_EQ(wide.size(), 2u);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectIdentical(serial[i], wide[i]);
+}
+
+TEST(SweepRunner, RepeatedRunsAreDeterministic)
+{
+    using coherence::Protocol;
+    std::vector<ExperimentSpec> specs = {
+        spec("barnes", Protocol::WiDir, 16),
+    };
+    SweepRunner runner(2);
+    auto first = runner.run(specs);
+    auto second = runner.run(specs);
+    expectIdentical(first[0], second[0]);
+}
+
+} // namespace

@@ -113,6 +113,44 @@ TEST(DataChannel, ManyCollidersAllEventuallySucceed)
     EXPECT_GT(ch.collisionProbability(), 0.0);
 }
 
+TEST(DataChannel, SupersededEvalNeverDuplicatesWork)
+{
+    // Regression for the scheduleEval generation counter: colliders
+    // park an arbitration pass in the future (their back-off), then a
+    // fresh transmit supersedes it with an earlier pass. The stale
+    // callback must return without evaluating -- each frame commits
+    // once and is delivered exactly once per node, with no phantom
+    // arbitration in between.
+    sim::Simulator s;
+    DataChannel ch(s, cfg(4));
+    std::vector<int> rx_count(4, 0);
+    for (sim::NodeId n = 0; n < 4; ++n)
+        ch.setReceiver(n, [&rx_count, n](const Frame &) {
+            ++rx_count[n];
+        });
+    int commits = 0;
+    ch.transmit(updFrame(0, 0x1000), [&] { ++commits; });
+    ch.transmit(updFrame(1, 0x2000), [&] { ++commits; });
+    // While the colliders back off, more senders keep arriving and
+    // rescheduling the arbitration earlier.
+    for (sim::Tick t = 1; t <= 3; ++t) {
+        s.schedule(t, [&ch, &commits, t] {
+            Frame f;
+            f.src = 2;
+            f.kind = FrameKind::WirUpd;
+            f.lineAddr = 0x3000 + t * 64;
+            f.wordAddr = f.lineAddr;
+            f.value = t;
+            ch.transmit(f, [&commits] { ++commits; });
+        });
+    }
+    s.run();
+    EXPECT_EQ(commits, 5);
+    EXPECT_EQ(ch.successes(), 5u);
+    for (sim::NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(rx_count[n], 5) << "node " << n;
+}
+
 TEST(DataChannel, JammingBlocksMatchingLine)
 {
     sim::Simulator s;
