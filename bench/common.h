@@ -11,6 +11,11 @@
  *
  * Command line:
  *   --jobs N            worker threads for the sweep
+ *   --trace             capture a protocol trace per configuration and
+ *                       export Chrome trace-event JSON files next to
+ *                       the stats (docs/TRACING.md)
+ *   --trace-window=LO:HI  restrict tracing to cycles [LO, HI]
+ *                       (implies --trace)
  *
  * Environment:
  *   WIDIR_BENCH_SCALE   work multiplier (default per bench)
@@ -19,6 +24,8 @@
  *   WIDIR_BENCH_JOBS    worker threads (--jobs wins; default: all
  *                       hardware threads)
  *   WIDIR_BENCH_OUT     JSON output directory (default bench/out)
+ *   WIDIR_TRACE         non-empty and not "0": same as --trace
+ *   WIDIR_TRACE_WINDOW  LO:HI cycle window (same as --trace-window)
  */
 
 #ifndef WIDIR_BENCH_COMMON_H
@@ -99,6 +106,67 @@ benchCores(std::uint32_t fallback)
     return fallback;
 }
 
+/** JSON/trace output directory: WIDIR_BENCH_OUT or bench/out. */
+inline std::string
+benchOutDir()
+{
+    const char *dir = std::getenv("WIDIR_BENCH_OUT");
+    return dir && *dir ? dir : "bench/out";
+}
+
+/** Trace capture settings for one bench invocation. */
+struct TraceOpts
+{
+    bool on = false;
+    sim::Tick lo = 0;
+    sim::Tick hi = sim::kTickNever;
+    std::string name; ///< bench name, used for trace file naming
+};
+
+/**
+ * Trace knobs: --trace / --trace-window=LO:HI beat WIDIR_TRACE /
+ * WIDIR_TRACE_WINDOW. A window implies tracing on.
+ */
+inline TraceOpts
+benchTrace(int argc, char **argv, const char *bench_name)
+{
+    TraceOpts opts;
+    opts.name = bench_name;
+    auto window = [&opts](const char *val) {
+        char *end = nullptr;
+        unsigned long long lo = std::strtoull(val, &end, 10);
+        if (!end || *end != ':') {
+            std::fprintf(stderr,
+                         "trace window must be LO:HI, got '%s'\n", val);
+            std::exit(2);
+        }
+        unsigned long long hi = std::strtoull(end + 1, nullptr, 10);
+        opts.lo = static_cast<sim::Tick>(lo);
+        opts.hi = static_cast<sim::Tick>(hi);
+        opts.on = true;
+    };
+    if (const char *env = std::getenv("WIDIR_TRACE"))
+        opts.on = *env && std::strcmp(env, "0") != 0;
+    if (const char *env = std::getenv("WIDIR_TRACE_WINDOW"))
+        window(env);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--trace"))
+            opts.on = true;
+        else if (!std::strncmp(arg, "--trace-window=", 15))
+            window(arg + 15);
+        else if (!std::strcmp(arg, "--trace-window")) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--trace-window requires LO:HI\n");
+                std::exit(2);
+            }
+            window(argv[++i]);
+        }
+    }
+    return opts;
+}
+
 /** Sweep worker count: --jobs N beats WIDIR_BENCH_JOBS beats auto. */
 inline unsigned
 benchJobs(int argc, char **argv)
@@ -134,7 +202,10 @@ benchJobs(int argc, char **argv)
 class Sweep
 {
   public:
-    explicit Sweep(unsigned jobs) : runner_(jobs) {}
+    explicit Sweep(unsigned jobs, TraceOpts trace = {})
+        : runner_(jobs), trace_(std::move(trace))
+    {
+    }
 
     /** Queue one configuration; returns its result index. */
     std::size_t
@@ -149,6 +220,21 @@ class Sweep
         spec.scale = scale;
         spec.maxWiredSharers = max_wired_sharers;
         spec.updateCountThreshold = update_count_threshold;
+        if (trace_.on) {
+            spec.trace = true;
+            spec.traceStart = trace_.lo;
+            spec.traceEnd = trace_.hi;
+            char tag[64];
+            std::snprintf(tag, sizeof(tag), ".%zu_%s_%s_%uc",
+                          specs_.size(), app.name,
+                          proto == Protocol::WiDir ? "widir"
+                                                   : "baseline",
+                          cores);
+            spec.traceFile = benchOutDir() + "/" +
+                             (trace_.name.empty() ? "sweep"
+                                                  : trace_.name) +
+                             tag + ".trace.json";
+        }
         specs_.push_back(spec);
         return specs_.size() - 1;
     }
@@ -158,6 +244,11 @@ class Sweep
     run()
     {
         results_ = runner_.run(specs_);
+        if (trace_.on)
+            std::printf("[%zu Chrome traces -> %s/%s.*.trace.json]\n",
+                        specs_.size(), benchOutDir().c_str(),
+                        trace_.name.empty() ? "sweep"
+                                            : trace_.name.c_str());
     }
 
     const ExperimentResult &
@@ -181,9 +272,7 @@ class Sweep
     void
     writeJson(const char *bench_name) const
     {
-        const char *dir = std::getenv("WIDIR_BENCH_OUT");
-        std::string path = std::string(dir && *dir ? dir : "bench/out") +
-                           "/" + bench_name + ".json";
+        std::string path = benchOutDir() + "/" + bench_name + ".json";
         if (sys::writeResultsJson(path, bench_name, results_))
             std::printf("[%zu results -> %s]\n", results_.size(),
                         path.c_str());
@@ -191,6 +280,7 @@ class Sweep
 
   private:
     sys::SweepRunner runner_;
+    TraceOpts trace_;
     std::vector<ExperimentSpec> specs_;
     std::vector<ExperimentResult> results_;
 };

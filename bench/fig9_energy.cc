@@ -19,7 +19,8 @@ main(int argc, char **argv)
     std::uint32_t scale = sys::benchScale(4);
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv));
+    Sweep sweep(benchJobs(argc, argv),
+                benchTrace(argc, argv, "fig9_energy"));
     std::vector<std::size_t> bi, wi;
     for (const AppInfo *app : apps) {
         bi.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,

@@ -16,7 +16,8 @@ main(int argc, char **argv)
     std::uint32_t scale = sys::benchScale(4);
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv));
+    Sweep sweep(benchJobs(argc, argv),
+                benchTrace(argc, argv, "table4_app_mpki"));
     std::vector<std::size_t> idx;
     for (const AppInfo *app : apps)
         idx.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,

@@ -62,6 +62,46 @@ DirectoryController::txnOf(Addr line)
     return it == txns_.end() ? nullptr : &it->second;
 }
 
+const char *
+DirectoryController::txnTypeName(TxnType t)
+{
+    switch (t) {
+      case TxnType::Fetch:      return "Fetch";
+      case TxnType::FwdS:       return "FwdS";
+      case TxnType::FwdX:       return "FwdX";
+      case TxnType::InvColl:    return "InvColl";
+      case TxnType::RecallEM:   return "RecallEM";
+      case TxnType::RecallS:    return "RecallS";
+      case TxnType::RecallW:    return "RecallW";
+      case TxnType::ToWireless: return "ToWireless";
+      case TxnType::WJoin:      return "WJoin";
+      case TxnType::ToShared:   return "ToShared";
+    }
+    return "?";
+}
+
+void
+DirectoryController::traceState(Addr line, DirState from, DirState to,
+                                const char *why, std::uint64_t arg)
+{
+    sim::Tracer &tracer = fabric_.simulator().tracer();
+    if (!(sim::kTraceCompiled && tracer.enabled()))
+        return;
+    sim::TraceRecord r;
+    r.tick = fabric_.simulator().now();
+    r.kind = sim::TraceKind::DirTransition;
+    r.comp = sim::TraceComponent::Directory;
+    r.node = node_;
+    r.line = line;
+    r.from = static_cast<std::uint8_t>(from);
+    r.to = static_cast<std::uint8_t>(to);
+    r.fromName = dirStateName(from);
+    r.toName = dirStateName(to);
+    r.note = why;
+    r.arg = arg;
+    tracer.emit(r);
+}
+
 DirectoryController::DirTxn &
 DirectoryController::beginTxn(TxnType type, Addr line)
 {
@@ -71,6 +111,18 @@ DirectoryController::beginTxn(TxnType type, Addr line)
     it->second.line = lineAlign(line);
     if (CacheEntry *e = llc_.lookup(line))
         e->locked = true;
+    sim::Tracer &tracer = fabric_.simulator().tracer();
+    if (sim::kTraceCompiled && tracer.enabled()) {
+        sim::TraceRecord r;
+        r.tick = fabric_.simulator().now();
+        r.kind = sim::TraceKind::DirTxnBegin;
+        r.comp = sim::TraceComponent::Directory;
+        r.node = node_;
+        r.line = it->second.line;
+        r.op = static_cast<std::uint8_t>(type);
+        r.opName = txnTypeName(type);
+        tracer.emit(r);
+    }
     return it->second;
 }
 
@@ -82,6 +134,18 @@ DirectoryController::endTxn(Addr line)
     if (it->second.jamming) {
         fabric_.dataChannel()->stopJamming(it->second.jamId);
         it->second.jamming = false;
+    }
+    sim::Tracer &tracer = fabric_.simulator().tracer();
+    if (sim::kTraceCompiled && tracer.enabled()) {
+        sim::TraceRecord r;
+        r.tick = fabric_.simulator().now();
+        r.kind = sim::TraceKind::DirTxnEnd;
+        r.comp = sim::TraceComponent::Directory;
+        r.node = node_;
+        r.line = it->second.line;
+        r.op = static_cast<std::uint8_t>(it->second.type);
+        r.opName = txnTypeName(it->second.type);
+        tracer.emit(r);
     }
     txns_.erase(it);
     if (CacheEntry *e = llc_.lookup(line))
@@ -232,6 +296,8 @@ DirectoryController::handleCachedRequest(const Msg &msg,
     switch (entry.state) {
       case DirState::I:
         // First reader gets Exclusive, first writer gets Modified.
+        traceState(lineAlign(msg.line), DirState::I, DirState::EM,
+                   msgTypeName(msg.type), msg.src);
         entry.state = DirState::EM;
         entry.owner = msg.src;
         llc_entry->state = static_cast<std::uint8_t>(DirState::EM);
@@ -293,6 +359,8 @@ DirectoryController::handleCachedRequest(const Msg &msg,
         }
         if (targets.empty()) {
             // Requester is the sole sharer: immediate upgrade.
+            traceState(lineAlign(msg.line), DirState::S, DirState::EM,
+                       "upgrade", msg.src);
             entry.state = DirState::EM;
             entry.owner = msg.src;
             entry.sharers.clear();
@@ -379,6 +447,7 @@ DirectoryController::startFetch(const Msg &msg)
         }
         llc_.fill(frame, line, static_cast<std::uint8_t>(DirState::EM),
                   data);
+        traceState(line, DirState::I, DirState::EM, "fetch", requester);
         DirEntry &entry = entries_[line];
         entry.state = DirState::EM;
         entry.owner = requester;
@@ -436,6 +505,7 @@ DirectoryController::handlePutS(const Msg &msg)
     }
     if (entry.state == DirState::S) {
         if (entry.sharers.empty() && !entry.bcast) {
+            traceState(line, DirState::S, DirState::I, "PutS");
             entry.state = DirState::I;
             if (CacheEntry *e = llc_.lookup(line))
                 e->state = static_cast<std::uint8_t>(DirState::I);
@@ -474,6 +544,8 @@ DirectoryController::handlePutEM(const Msg &msg)
         e->data = msg.data;
         e->dirty = true;
     }
+    traceState(line, DirState::EM, DirState::I, msgTypeName(msg.type),
+               msg.src);
     entry.state = DirState::I;
     entry.owner = sim::kNodeNone;
     e->state = static_cast<std::uint8_t>(DirState::I);
@@ -523,6 +595,8 @@ DirectoryController::handlePutW(const Msg &msg)
     DirEntry &entry = it->second;
     WIDIR_ASSERT(entry.sharerCount > 0, "SharerCount underflow");
     --entry.sharerCount;
+    traceState(line, DirState::W, DirState::W, "PutW",
+               entry.sharerCount);
     // Table II, W->S: when the count falls back to MaxWiredSharers,
     // return the line to the wired protocol.
     maybeStartToShared(line);
@@ -554,6 +628,8 @@ DirectoryController::completeOwnerTxn(const Msg &msg, bool has_data)
     switch (txn->type) {
       case TxnType::FwdS: {
         NodeId requester = txn->requester;
+        traceState(line, DirState::EM, DirState::S, "FwdGetS",
+                   requester);
         entry.state = DirState::S;
         entry.sharers.clear();
         // The old owner keeps an S copy unless it evicted (PutE/PutM
@@ -569,6 +645,9 @@ DirectoryController::completeOwnerTxn(const Msg &msg, bool has_data)
       }
       case TxnType::FwdX: {
         NodeId requester = txn->requester;
+        // Owner hand-off: EM->EM with a new owner (arg).
+        traceState(line, DirState::EM, DirState::EM, "FwdGetX",
+                   requester);
         entry.state = DirState::EM;
         entry.owner = requester;
         e->state = static_cast<std::uint8_t>(DirState::EM);
@@ -628,6 +707,8 @@ DirectoryController::handleInvAck(const Msg &msg)
         WIDIR_ASSERT(it != entries_.end(), "InvColl without entry");
         CacheEntry *e = llc_.lookup(line);
         WIDIR_ASSERT(e, "InvColl without LLC entry");
+        traceState(line, DirState::S, DirState::EM, "InvColl",
+                   requester);
         it->second.state = DirState::EM;
         it->second.owner = requester;
         it->second.sharers.clear();
@@ -653,6 +734,9 @@ DirectoryController::handleWirUpgrAck(const Msg &msg)
                      it->second.state == DirState::W,
                  "WJoin on a non-W entry");
     ++it->second.sharerCount;
+    // W->W join: SharerCount grew (arg = new count).
+    traceState(line, DirState::W, DirState::W, "join",
+               it->second.sharerCount);
     if (++txn->acksReceived < txn->acksExpected)
         return; // more joiners in flight under this transaction
     endTxn(line);
@@ -737,11 +821,13 @@ DirectoryController::finishToWireless(Addr line)
     auto it = entries_.find(line);
     WIDIR_ASSERT(it != entries_.end(), "S->W without dir entry");
     DirEntry &entry = it->second;
-    entry.state = DirState::W;
     // Census = surviving pre-transition sharers + the requester
     // (unless the requester already evicted again).
+    entry.state = DirState::W;
     entry.sharerCount =
         txn->censusSharers + (txn->censusRequesterLeft ? 0 : 1);
+    traceState(line, DirState::S, DirState::W, "census",
+               entry.sharerCount);
     entry.sharers.clear();
     entry.bcast = false;
     entry.owner = sim::kNodeNone;
@@ -846,9 +932,12 @@ DirectoryController::finishToShared(Addr line)
     CacheEntry *e = llc_.lookup(line);
     WIDIR_ASSERT(e, "W->S without LLC entry");
     if (entry.sharers.empty()) {
+        traceState(line, DirState::W, DirState::I, "WirDwgr");
         entry.state = DirState::I;
         e->state = static_cast<std::uint8_t>(DirState::I);
     } else {
+        traceState(line, DirState::W, DirState::S, "WirDwgr",
+                   entry.sharers.size());
         entry.state = DirState::S;
         e->state = static_cast<std::uint8_t>(DirState::S);
     }
@@ -1012,7 +1101,11 @@ DirectoryController::finishRecall(Addr line, bool merge_data,
         e->dirty = e->dirty || data_dirty;
     }
     writebackIfDirty(e);
-    entries_.erase(line);
+    auto eit = entries_.find(line);
+    if (eit != entries_.end()) {
+        traceState(line, eit->second.state, DirState::I, "recall");
+        entries_.erase(eit);
+    }
     endTxn(line);
     llc_.invalidate(e);
 }

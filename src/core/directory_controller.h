@@ -187,6 +187,11 @@ class DirectoryController
                       const mem::LineData *data, bool data_dirty);
     void writebackIfDirty(mem::CacheEntry *e);
 
+    // -- tracing (sim/trace.h; no-ops unless the tracer is enabled) ----
+    static const char *txnTypeName(TxnType t);
+    void traceState(sim::Addr line, DirState from, DirState to,
+                    const char *why, std::uint64_t arg = 0);
+
     // -- plumbing -------------------------------------------------------------
     DirTxn *txnOf(sim::Addr line);
     DirTxn &beginTxn(TxnType type, sim::Addr line);

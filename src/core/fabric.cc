@@ -45,6 +45,23 @@ CoherenceFabric::sendWired(const Msg &msg, sim::Tick delay)
                      static_cast<unsigned long long>(msg.line),
                      msg.isSharer ? " (sharer)" : "");
     }
+    sim::Tracer &tracer = sim_.tracer();
+    if (sim::kTraceCompiled && tracer.enabled()) {
+        sim::TraceRecord r;
+        r.tick = sim_.now();
+        r.kind = sim::TraceKind::MsgSend;
+        r.comp = toDirectory(msg.type) ? sim::TraceComponent::Directory
+                                       : sim::TraceComponent::L1;
+        r.node = msg.src;
+        r.peer = msg.dst;
+        r.line = msg.line;
+        r.op = static_cast<std::uint8_t>(msg.type);
+        r.opName = msgTypeName(msg.type);
+        r.arg = bitsFor(msg.type);
+        if (msg.isSharer)
+            r.note = "sharer";
+        tracer.emit(r);
+    }
     // Clamp the enqueue time so same-pair messages keep their send
     // order even when sender-side delays differ.
     std::uint64_t pair =
@@ -58,6 +75,20 @@ CoherenceFabric::sendWired(const Msg &msg, sim::Tick delay)
         bool to_dir = toDirectory(msg.type);
         mesh_.send(msg.src, msg.dst, bitsFor(msg.type),
                    [this, msg, to_dir] {
+            sim::Tracer &tr = sim_.tracer();
+            if (sim::kTraceCompiled && tr.enabled()) {
+                sim::TraceRecord r;
+                r.tick = sim_.now();
+                r.kind = sim::TraceKind::MsgRecv;
+                r.comp = to_dir ? sim::TraceComponent::Directory
+                                : sim::TraceComponent::L1;
+                r.node = msg.dst;
+                r.peer = msg.src;
+                r.line = msg.line;
+                r.op = static_cast<std::uint8_t>(msg.type);
+                r.opName = msgTypeName(msg.type);
+                tr.emit(r);
+            }
             if (to_dir)
                 dir(msg.dst).receive(msg);
             else

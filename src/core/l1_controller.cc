@@ -66,6 +66,45 @@ L1Controller::send(Msg msg)
 }
 
 void
+L1Controller::traceState(Addr line, L1State from, L1State to,
+                         const char *why)
+{
+    sim::Tracer &tracer = fabric_.simulator().tracer();
+    if (!(sim::kTraceCompiled && tracer.enabled()))
+        return;
+    sim::TraceRecord r;
+    r.tick = fabric_.simulator().now();
+    r.kind = sim::TraceKind::L1Transition;
+    r.comp = sim::TraceComponent::L1;
+    r.node = node_;
+    r.line = line;
+    r.from = static_cast<std::uint8_t>(from);
+    r.to = static_cast<std::uint8_t>(to);
+    r.fromName = l1StateName(from);
+    r.toName = l1StateName(to);
+    r.note = why;
+    tracer.emit(r);
+}
+
+void
+L1Controller::traceMshr(sim::TraceKind kind, Addr line, const char *req,
+                        const char *why)
+{
+    sim::Tracer &tracer = fabric_.simulator().tracer();
+    if (!(sim::kTraceCompiled && tracer.enabled()))
+        return;
+    sim::TraceRecord r;
+    r.tick = fabric_.simulator().now();
+    r.kind = kind;
+    r.comp = sim::TraceComponent::L1;
+    r.node = node_;
+    r.line = line;
+    r.opName = req;
+    r.note = why;
+    tracer.emit(r);
+}
+
+void
 L1Controller::complete(std::uint64_t token, std::uint64_t value)
 {
     WIDIR_ASSERT(static_cast<bool>(complete_),
@@ -162,6 +201,8 @@ L1Controller::write(Addr addr, std::uint64_t value, std::uint64_t token)
       case L1State::E:
         // Silent E->M upgrade plus local write.
         ++stats_.storeHits;
+        if (st == L1State::E)
+            traceState(line, L1State::E, L1State::M, "store");
         e->state = static_cast<std::uint8_t>(L1State::M);
         e->dirty = true;
         e->data.setWord(addr, value);
@@ -221,6 +262,8 @@ L1Controller::rmw(Addr addr,
       case L1State::E: {
         // Ownership makes the local update atomic.
         std::uint64_t old = e->data.word(addr);
+        if (st == L1State::E)
+            traceState(line, L1State::E, L1State::M, "rmw");
         e->state = static_cast<std::uint8_t>(L1State::M);
         e->dirty = true;
         e->data.setWord(addr, op.modify(old));
@@ -292,6 +335,9 @@ L1Controller::startMiss(const PendingOp &op, Addr line,
         ++stats_.writeMisses;
     auto [ins, ok] = txns_.emplace(line, std::move(txn));
     WIDIR_ASSERT(ok, "duplicate txn");
+    traceMshr(sim::TraceKind::MshrAlloc, line,
+              msgTypeName(ins->second.request),
+              is_sharer_upgrade ? "upgrade" : nullptr);
     sendRequest(ins->second);
 }
 
@@ -430,6 +476,8 @@ L1Controller::evict(CacheEntry *victim)
         array_.invalidate(victim);
         return;
     }
+    traceState(victim->line, static_cast<L1State>(victim->state),
+               L1State::I, "evict");
     array_.invalidate(victim);
     send(msg);
 }
@@ -458,10 +506,17 @@ L1Controller::applyFillAs(const Msg &msg, bool force_w)
         }
     }
     WIDIR_ASSERT(msg.hasData, "fill without data");
+    // The frame still holds the pre-fill copy on an in-place upgrade
+    // (same line); a fresh or recycled frame fills from I.
+    L1State old = (frame->valid && frame->line == msg.line)
+        ? static_cast<L1State>(frame->state)
+        : L1State::I;
     array_.fill(frame, msg.line, static_cast<std::uint8_t>(st),
                 msg.data);
     if (st == L1State::M)
         frame->dirty = true;
+    if (old != st)
+        traceState(msg.line, old, st, "fill");
 }
 
 void
@@ -475,6 +530,8 @@ L1Controller::finishFill(const Msg &msg)
     }
     Txn txn = std::move(it->second);
     txns_.erase(it);
+    traceMshr(sim::TraceKind::MshrRetire, msg.line,
+              msgTypeName(txn.request), "fill");
     if (txn.fillAsW && msg.type == MsgType::Data) {
         // The line arrived while we held the census tone: the census
         // counted us, so the copy enters W (case iii of III-B1). Only
@@ -527,6 +584,8 @@ L1Controller::issueWirelessWrite(const PendingOp &op)
     wtxn.op = op;
     auto [ins, ok] = wirelessTxns_.emplace(line, std::move(wtxn));
     WIDIR_ASSERT(ok, "duplicate wireless txn");
+    traceMshr(sim::TraceKind::MshrAlloc, line, "WirUpd",
+              op.kind == TxnKind::Rmw ? "rmw" : "store");
 
     wireless::Frame frame;
     frame.src = node_;
@@ -556,6 +615,7 @@ L1Controller::wirelessCommit(Addr line)
         return; // squashed between channel grant and commit event
     WirelessTxn wtxn = std::move(it->second);
     wirelessTxns_.erase(it);
+    traceMshr(sim::TraceKind::MshrRetire, line, "WirUpd", "commit");
 
     CacheEntry *e = array_.lookup(line);
     WIDIR_ASSERT(e && static_cast<L1State>(e->state) == L1State::W,
@@ -603,6 +663,7 @@ L1Controller::squashWireless(Addr line, bool retry_wired)
         return;
     WirelessTxn wtxn = std::move(it->second);
     wirelessTxns_.erase(it);
+    traceMshr(sim::TraceKind::MshrRetire, line, "WirUpd", "squash");
     fabric_.dataChannel()->cancelPending(wtxn.channelToken);
     ++stats_.wirelessSquashes;
 
@@ -696,6 +757,8 @@ L1Controller::handleNack(const Msg &msg)
         // The bounced request was already satisfied wirelessly.
         Txn txn = std::move(it->second);
         txns_.erase(it);
+        traceMshr(sim::TraceKind::MshrRetire, msg.line,
+                  msgTypeName(txn.request), "superseded");
         dropToneIfHeld(txn);
         completeOps(std::move(txn.ops));
         return;
@@ -726,6 +789,8 @@ L1Controller::handleInv(const Msg &msg)
             ack.data = e->data;
             ack.dirtyData = true;
         }
+        traceState(msg.line, static_cast<L1State>(e->state),
+                   L1State::I, "Inv");
         array_.invalidate(e);
     }
     send(ack);
@@ -751,9 +816,11 @@ L1Controller::handleFwd(const Msg &msg)
     resp.data = e->data;
     resp.dirtyData = (st == L1State::M);
     if (msg.type == MsgType::FwdGetS) {
+        traceState(msg.line, st, L1State::S, "FwdGetS");
         e->state = static_cast<std::uint8_t>(L1State::S);
         e->dirty = false;
     } else {
+        traceState(msg.line, st, L1State::I, "FwdGetX");
         array_.invalidate(e);
     }
     send(resp);
@@ -817,6 +884,8 @@ L1Controller::handleWirUpd(const wireless::Frame &frame)
             put.type = MsgType::PutW;
             put.dst = fabric_.homeOf(frame.lineAddr);
             put.line = frame.lineAddr;
+            traceState(frame.lineAddr, L1State::W, L1State::I,
+                       "UpdateCount");
             array_.invalidate(e);
             send(put);
         }
@@ -837,6 +906,7 @@ L1Controller::handleBrWirUpgr(const wireless::Frame &frame)
 
     if (e && static_cast<L1State>(e->state) == L1State::S) {
         // Table I, S->W case 1: a current sharer moves to W.
+        traceState(frame.lineAddr, L1State::S, L1State::W, "BrWirUpgr");
         e->state = static_cast<std::uint8_t>(L1State::W);
         e->updateCount = 0;
         if (tit != txns_.end()) {
@@ -846,6 +916,8 @@ L1Controller::handleBrWirUpgr(const wireless::Frame &frame)
             e->locked = false; // upgrade pin no longer needed
             Txn txn = std::move(tit->second);
             txns_.erase(tit);
+            traceMshr(sim::TraceKind::MshrRetire, frame.lineAddr,
+                      msgTypeName(txn.request), "BrWirUpgr");
             tone->drop();
             completeOps(std::move(txn.ops)); // re-executes as W ops
             return;
@@ -888,6 +960,7 @@ L1Controller::handleWirDwgr(const wireless::Frame &frame)
     // network and downgrade. Any queued wireless write re-issues after
     // the downgrade, so it takes the wired upgrade path as a plain S
     // sharer.
+    traceState(frame.lineAddr, L1State::W, L1State::S, "WirDwgr");
     e->state = static_cast<std::uint8_t>(L1State::S);
     e->updateCount = 0;
     Msg ack;
@@ -907,6 +980,7 @@ L1Controller::handleWirInv(const wireless::Frame &frame)
     // Table I, W->I: invalidate; squash any pending write and retry it
     // through the wired network (it will re-allocate the directory
     // entry).
+    traceState(frame.lineAddr, L1State::W, L1State::I, "WirInv");
     array_.invalidate(e);
     squashWireless(frame.lineAddr, true);
 }

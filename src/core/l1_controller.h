@@ -193,6 +193,12 @@ class L1Controller
     void handleFwd(const Msg &msg);
     void handleWirUpgr(const Msg &msg);
 
+    // -- tracing (sim/trace.h; no-ops unless the tracer is enabled) ----
+    void traceState(sim::Addr line, L1State from, L1State to,
+                    const char *why);
+    void traceMshr(sim::TraceKind kind, sim::Addr line, const char *req,
+                   const char *why);
+
     // -- incoming wireless handlers (Table I) --------------------------
     void handleWirUpd(const wireless::Frame &frame);
     void handleBrWirUpgr(const wireless::Frame &frame);

@@ -239,6 +239,25 @@ Core::scheduleStep(Tick delay)
 }
 
 void
+Core::traceRetire(const char *what, std::uint8_t op, Addr addr,
+                  Tick enqueued)
+{
+    sim::Tracer &tracer = sim_.tracer();
+    if (!(sim::kTraceCompiled && tracer.enabled()))
+        return;
+    sim::TraceRecord r;
+    r.tick = sim_.now();
+    r.kind = sim::TraceKind::CoreOp;
+    r.comp = sim::TraceComponent::Core;
+    r.node = node_;
+    r.line = addr;
+    r.op = op;
+    r.opName = what;
+    r.arg = sim_.now() - enqueued; // issue-to-retire latency
+    tracer.emit(r);
+}
+
+void
 Core::noteStallStart()
 {
     if (!stalled_) {
@@ -286,6 +305,7 @@ Core::step()
                 stats_.loadLatencySum += sim_.now() - head.enqueued;
                 ++stats_.loads;
                 ++stats_.instructions;
+                traceRetire("load", 0, head.addr, head.enqueued);
                 robCount_ -= 1;
                 budget -= 1;
                 rob_.pop_front();
@@ -298,6 +318,7 @@ Core::step()
                 stats_.storeLatencySum += sim_.now() - head.enqueued;
                 ++stats_.stores;
                 ++stats_.instructions;
+                traceRetire("store", 1, head.addr, head.enqueued);
                 writeBuffer_.emplace_back(head.addr, head.value);
                 robCount_ -= 1;
                 budget -= 1;
@@ -312,6 +333,7 @@ Core::step()
                 stats_.storeLatencySum += sim_.now() - head.enqueued;
                 ++stats_.rmws;
                 ++stats_.instructions;
+                traceRetire("rmw", 2, head.addr, head.enqueued);
                 robCount_ -= 1;
                 budget -= 1;
                 rob_.pop_front();

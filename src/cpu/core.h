@@ -165,6 +165,9 @@ class Core
     void maybeFinish();
     void noteStallStart();
     void noteStallEnd();
+    /** Trace one retired memory op (no-op unless tracing). */
+    void traceRetire(const char *what, std::uint8_t op, Addr addr,
+                     Tick enqueued);
 
     sim::Simulator &sim_;
     coherence::L1Controller &l1_;

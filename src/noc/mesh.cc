@@ -128,6 +128,18 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bits,
         total = (arrive - depart) + (flits - 1);
     }
     latency_.sample(static_cast<double>(total));
+    sim::Tracer &tracer = sim_.tracer();
+    if (sim::kTraceCompiled && tracer.enabled()) {
+        sim::TraceRecord r;
+        r.tick = depart;
+        r.kind = sim::TraceKind::NocSend;
+        r.comp = sim::TraceComponent::Mesh;
+        r.node = src;
+        r.peer = dst;
+        r.op = static_cast<std::uint8_t>(hops);
+        r.arg = total; // tail-arrival latency incl. contention
+        tracer.emit(r);
+    }
     sim_.schedule(total, std::move(deliver));
 }
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "sim/trace.h"
+
 namespace widir::sim {
 
 namespace {
@@ -84,6 +86,23 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     emit(LogLevel::Warn, "warn", fmt, ap);
     va_end(ap);
+    // Route the warning into the trace of the simulation this thread
+    // is currently running (if any, and if it is tracing). This is
+    // independent of the stderr threshold: traces are for post-hoc
+    // analysis and should not lose records because a test quieted
+    // the console.
+    Tracer *tracer = Tracer::threadActive();
+    if (kTraceCompiled && tracer && tracer->enabled()) {
+        TraceRecord r;
+        r.tick = tracer->clockNow();
+        r.kind = TraceKind::Warn;
+        r.comp = TraceComponent::Log;
+        std::va_list ap2;
+        va_start(ap2, fmt);
+        r.text = vstrfmt(fmt, ap2);
+        va_end(ap2);
+        tracer->emit(r);
+    }
 }
 
 void

@@ -12,6 +12,26 @@
  *
  * All of them accept printf-style formatting via std::format-like
  * variadic helpers built on snprintf to stay dependency-free.
+ *
+ * Thread-safety under parallel sweeps (sys::SweepRunner):
+ *  - The log threshold is the sim layer's only process-wide mutable
+ *    state. It is a single atomic; logThreshold()/setLogThreshold()
+ *    are safe to call from any thread, and each emitted record is one
+ *    fprintf, which stdio serializes, so concurrent workers never
+ *    interleave within a line.
+ *  - setLogThreshold() is process-global, NOT per-simulation: a test
+ *    or bench that flips it while a sweep is running changes the
+ *    verbosity of every concurrent worker. Flip it before starting
+ *    the pool (the test suite sets it once in main()); the
+ *    save/restore idiom `auto prev = setLogThreshold(x); ...;
+ *    setLogThreshold(prev);` is only race-free on a single thread.
+ *  - warn() additionally routes a TraceKind::Warn record into the
+ *    active simulation's trace (sim/trace.h) when that simulation has
+ *    tracing enabled. The routing is thread-local (each sweep worker
+ *    publishes its own simulator's tracer while running it), so
+ *    warnings are attributed to the right experiment even with many
+ *    in flight. Trace routing ignores the print threshold: a
+ *    suppressed-on-stderr warning still lands in the trace.
  */
 
 #ifndef WIDIR_SIM_LOG_H
@@ -31,7 +51,11 @@ enum class LogLevel { Debug, Info, Warn, Error };
  */
 LogLevel logThreshold();
 
-/** Set the global log threshold and return the previous one. */
+/**
+ * Set the global log threshold and return the previous one. Atomic,
+ * but process-global — see the thread-safety notes above before
+ * calling this concurrently with a running SweepRunner.
+ */
 LogLevel setLogThreshold(LogLevel level);
 
 /** printf-style formatting into a std::string. */

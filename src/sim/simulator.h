@@ -16,6 +16,7 @@
 #include "sim/event_queue.h"
 #include "sim/log.h"
 #include "sim/rng.h"
+#include "sim/trace.h"
 #include "sim/types.h"
 
 namespace widir::sim {
@@ -28,7 +29,10 @@ class Simulator
      * @param seed Root seed. Every derived Rng stream mixes this with a
      *             caller-chosen stream id.
      */
-    explicit Simulator(std::uint64_t seed = 1) : seed_(seed) {}
+    explicit Simulator(std::uint64_t seed = 1) : seed_(seed)
+    {
+        tracer_.setClock(&queue_);
+    }
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -41,6 +45,14 @@ class Simulator
 
     /** Root seed of this run. */
     std::uint64_t seed() const { return seed_; }
+
+    /**
+     * This run's trace hub (disabled by default). Components check
+     * `tracer().enabled()` before building records; sinks are attached
+     * by the system layer (see src/system/trace_sinks.h).
+     */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
 
     /**
      * Derive an independent random stream. Stream ids should be stable
@@ -78,7 +90,14 @@ class Simulator
     bool
     run(Tick limit = kTickNever)
     {
-        return queue_.run(limit);
+        // Publish this simulator's tracer as the thread's active one
+        // so sim::warn() fired from component code lands in this
+        // run's trace; restore afterwards so nested/serial runs on
+        // the same thread stay correctly attributed.
+        Tracer *prev = Tracer::setThreadActive(&tracer_);
+        bool drained = queue_.run(limit);
+        Tracer::setThreadActive(prev);
+        return drained;
     }
 
     /**
@@ -99,6 +118,7 @@ class Simulator
   private:
     EventQueue queue_;
     std::uint64_t seed_;
+    Tracer tracer_;
 };
 
 } // namespace widir::sim

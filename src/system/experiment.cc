@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include <memory>
+
 #include "sim/log.h"
 #include "system/checker.h"
 #include "system/manycore.h"
+#include "system/trace_sinks.h"
 
 namespace widir::sys {
 
@@ -78,6 +81,23 @@ runExperiment(const ExperimentSpec &spec)
     workload::WorkloadParams params;
     params.scale = spec.scale;
 
+    // Tracing: a ring buffer always feeds the legality checker; the
+    // Chrome exporter is attached only when an output path was given.
+    // Tracing never touches the RNG streams, so a traced run's stats
+    // are bit-identical to the same run untraced.
+    TraceRing ring;
+    std::unique_ptr<ChromeTraceWriter> chrome;
+    if (spec.trace) {
+        sim::Tracer &tracer = m.simulator().tracer();
+        tracer.setEnabled(true);
+        tracer.setWindow(spec.traceStart, spec.traceEnd);
+        tracer.addSink(ring.sink());
+        if (!spec.traceFile.empty()) {
+            chrome = std::make_unique<ChromeTraceWriter>();
+            tracer.addSink(chrome->sink());
+        }
+    }
+
     ExperimentResult r;
     r.app = spec.app->name;
     r.protocol = spec.protocol;
@@ -93,6 +113,24 @@ runExperiment(const ExperimentSpec &spec)
     if (!violations.empty()) {
         sim::fatal("experiment %s left the machine incoherent: %s",
                    spec.app->name, violations.front().c_str());
+    }
+
+    if (spec.trace) {
+        // Continuity and SWMR need the whole history: only apply them
+        // when the window covered the full run and nothing fell out of
+        // the ring.
+        bool strict = ring.dropped() == 0 && spec.traceStart == 0 &&
+                      spec.traceEnd == sim::kTickNever;
+        auto trace_violations = checkTraceLegality(ring, strict);
+        if (!trace_violations.empty()) {
+            sim::fatal("experiment %s produced an illegal trace: %s",
+                       spec.app->name,
+                       trace_violations.front().c_str());
+        }
+        if (chrome)
+            chrome->write(spec.traceFile);
+        r.traceRecords = m.simulator().tracer().emitted();
+        r.traceDropped = ring.dropped();
     }
 
     auto cpu = m.cpuTotals();

@@ -84,6 +84,12 @@ struct ExperimentResult
     /// @{
     energy::EnergyBreakdown energy;
     /// @}
+
+    /// @name Tracing (not part of the widir-sweep-v1 JSON schema)
+    /// @{
+    std::uint64_t traceRecords = 0; ///< records past the window filter
+    std::uint64_t traceDropped = 0; ///< ring-buffer overwrites
+    /// @}
 };
 
 /** One experiment configuration. */
@@ -97,6 +103,15 @@ struct ExperimentSpec
     std::uint32_t maxWiredSharers = 3; ///< Table VI sweeps this
     /** 0 keeps the ProtocolConfig default (ablation bench sweeps it). */
     std::uint32_t updateCountThreshold = 0;
+
+    /// @name Tracing (docs/TRACING.md)
+    /// @{
+    bool trace = false;            ///< enable the sim::Tracer
+    sim::Tick traceStart = 0;      ///< inclusive cycle window
+    sim::Tick traceEnd = sim::kTickNever;
+    /** Chrome trace-event JSON output path (empty: no export). */
+    std::string traceFile;
+    /// @}
 };
 
 /** Run one configuration to completion and gather the metrics. */

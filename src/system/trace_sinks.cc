@@ -1,0 +1,343 @@
+#include "system/trace_sinks.h"
+
+#include <cinttypes>
+#include <filesystem>
+#include <fstream>
+#include <unordered_map>
+
+#include "core/directory_controller.h"
+#include "core/l1_controller.h"
+#include "sim/log.h"
+
+namespace widir::sys {
+
+namespace {
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    out += '"';
+    for (; *s; ++s) {
+        char c = *s;
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+/** Chrome event name: the most specific label the record carries. */
+std::string
+eventName(const sim::TraceRecord &r)
+{
+    switch (r.kind) {
+      case sim::TraceKind::MsgSend:
+      case sim::TraceKind::MsgRecv:
+      case sim::TraceKind::CoreOp:
+        return r.opName ? r.opName : sim::traceKindName(r.kind);
+      case sim::TraceKind::L1Transition:
+      case sim::TraceKind::DirTransition:
+        return sim::strfmt("%s->%s", r.fromName ? r.fromName : "?",
+                           r.toName ? r.toName : "?");
+      default:
+        if (r.opName)
+            return sim::strfmt("%s %s", sim::traceKindName(r.kind),
+                               r.opName);
+        return sim::traceKindName(r.kind);
+    }
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter()
+{
+    body_.reserve(1u << 16);
+}
+
+void
+ChromeTraceWriter::add(const sim::TraceRecord &r)
+{
+    compSeen_[static_cast<std::size_t>(r.comp) %
+              (sizeof(compSeen_) / sizeof(compSeen_[0]))] = true;
+    if (events_++)
+        body_ += ",\n";
+
+    // CoreOp records span the op's latency (arg); everything else is
+    // an instant. ts is the simulated cycle shown as a microsecond.
+    bool complete = r.kind == sim::TraceKind::CoreOp;
+    sim::Tick dur = complete ? r.arg : 0;
+    sim::Tick ts = complete && r.arg <= r.tick ? r.tick - r.arg : r.tick;
+
+    body_ += "{\"name\":";
+    appendEscaped(body_, eventName(r).c_str());
+    body_ += sim::strfmt(",\"cat\":\"%s\",\"ph\":\"%s\"",
+                         sim::traceKindName(r.kind),
+                         complete ? "X" : "i");
+    if (!complete)
+        body_ += ",\"s\":\"t\"";
+    body_ += sim::strfmt(",\"pid\":%u,\"tid\":%u,\"ts\":%" PRIu64,
+                         static_cast<unsigned>(r.comp),
+                         r.node == sim::kNodeNone ? 0u : r.node,
+                         static_cast<std::uint64_t>(ts));
+    if (complete)
+        body_ += sim::strfmt(",\"dur\":%" PRIu64,
+                             static_cast<std::uint64_t>(dur));
+
+    body_ += ",\"args\":{";
+    bool first = true;
+    auto arg = [&](const char *key, std::string value) {
+        if (!first)
+            body_ += ",";
+        first = false;
+        appendEscaped(body_, key);
+        body_ += ":";
+        body_ += value;
+    };
+    if (r.line != sim::kAddrNone)
+        arg("line", sim::strfmt("\"0x%" PRIx64 "\"",
+                                static_cast<std::uint64_t>(r.line)));
+    if (r.peer != sim::kNodeNone)
+        arg("peer", sim::strfmt("%u", r.peer));
+    if (r.fromName) {
+        arg("from", sim::strfmt("\"%s\"", r.fromName));
+        arg("to", sim::strfmt("\"%s\"", r.toName ? r.toName : "?"));
+    }
+    if (r.opName && (r.kind == sim::TraceKind::MsgSend ||
+                     r.kind == sim::TraceKind::MsgRecv))
+        arg("msg", sim::strfmt("\"%s\"", r.opName));
+    if (r.note)
+        arg("note", sim::strfmt("\"%s\"", r.note));
+    if (r.arg != 0 && !complete)
+        arg("arg", sim::strfmt("%" PRIu64, r.arg));
+    if (!r.text.empty()) {
+        std::string esc;
+        appendEscaped(esc, r.text.c_str());
+        arg("text", esc);
+    }
+    body_ += "}}";
+}
+
+std::string
+ChromeTraceWriter::json() const
+{
+    std::string out = "{\"schema\":\"widir-trace-v1\",\n"
+                      "\"traceEvents\":[\n";
+    bool any = false;
+    for (std::size_t i = 0;
+         i < sizeof(compSeen_) / sizeof(compSeen_[0]); ++i) {
+        if (!compSeen_[i])
+            continue;
+        if (any)
+            out += ",\n";
+        any = true;
+        out += sim::strfmt(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+            "\"args\":{\"name\":\"%s\"}}",
+            i,
+            sim::traceComponentName(
+                static_cast<sim::TraceComponent>(i)));
+    }
+    if (!body_.empty()) {
+        if (any)
+            out += ",\n";
+        out += body_;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+ChromeTraceWriter::write(const std::string &path) const
+{
+    std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream f(p, std::ios::trunc);
+    if (!f) {
+        sim::warn("cannot write trace %s", path.c_str());
+        return false;
+    }
+    f << json();
+    return static_cast<bool>(f);
+}
+
+// ---------------------------------------------------------------------
+// Transition-legality checker (tables from docs/PROTOCOL.md)
+// ---------------------------------------------------------------------
+
+namespace {
+
+using coherence::DirState;
+using coherence::L1State;
+
+/** Table I edges (stable states; docs/PROTOCOL.md "L1 legality"). */
+bool
+l1Legal(L1State from, L1State to)
+{
+    switch (from) {
+      case L1State::I:
+        return to == L1State::S || to == L1State::E ||
+               to == L1State::M || to == L1State::W;
+      case L1State::S:
+        return to == L1State::M || to == L1State::W ||
+               to == L1State::I;
+      case L1State::E:
+        return to == L1State::M || to == L1State::S ||
+               to == L1State::I;
+      case L1State::M:
+        return to == L1State::S || to == L1State::I;
+      case L1State::W:
+        return to == L1State::S || to == L1State::I;
+    }
+    return false;
+}
+
+/** Table II edges (docs/PROTOCOL.md "directory legality"). */
+bool
+dirLegal(DirState from, DirState to)
+{
+    switch (from) {
+      case DirState::I:
+        return to == DirState::EM;
+      case DirState::S:
+        return to == DirState::EM || to == DirState::W ||
+               to == DirState::I;
+      case DirState::EM:
+        return to == DirState::S || to == DirState::EM ||
+               to == DirState::I;
+      case DirState::W:
+        return to == DirState::W || to == DirState::S ||
+               to == DirState::I;
+    }
+    return false;
+}
+
+/** (node, line) continuity key; line numbers fit well below 2^48. */
+std::uint64_t
+trackKey(sim::NodeId node, sim::Addr line)
+{
+    return (static_cast<std::uint64_t>(node) << 48) ^
+           static_cast<std::uint64_t>(line);
+}
+
+} // namespace
+
+std::vector<std::string>
+checkTraceLegality(const TraceRing &ring, bool strict)
+{
+    std::vector<std::string> violations;
+    auto flag = [&](std::string v) {
+        if (violations.size() < 16)
+            violations.push_back(std::move(v));
+    };
+
+    // Last traced `to` per (node, line) / per (home, line).
+    std::unordered_map<std::uint64_t, L1State> l1Last;
+    std::unordered_map<std::uint64_t, DirState> dirLast;
+    // Trace-visible L1 copies per line (strict SWMR only).
+    std::unordered_map<sim::Addr,
+                       std::unordered_map<sim::NodeId, L1State>>
+        copies;
+
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const sim::TraceRecord &r = ring.at(i);
+        if (r.kind == sim::TraceKind::L1Transition) {
+            auto from = static_cast<L1State>(r.from);
+            auto to = static_cast<L1State>(r.to);
+            if (!l1Legal(from, to)) {
+                flag(sim::strfmt(
+                    "illegal L1 transition %s->%s (node %u line "
+                    "%#" PRIx64 " tick %" PRIu64 " note %s)",
+                    r.fromName, r.toName, r.node,
+                    static_cast<std::uint64_t>(r.line),
+                    static_cast<std::uint64_t>(r.tick),
+                    r.note ? r.note : "-"));
+            }
+            if (strict) {
+                auto [it, fresh] = l1Last.try_emplace(
+                    trackKey(r.node, r.line), to);
+                if (!fresh) {
+                    if (it->second != from) {
+                        flag(sim::strfmt(
+                            "L1 continuity break: node %u line "
+                            "%#" PRIx64 " was traced %s but "
+                            "transitions from %s at tick %" PRIu64,
+                            r.node,
+                            static_cast<std::uint64_t>(r.line),
+                            l1StateName(it->second), r.fromName,
+                            static_cast<std::uint64_t>(r.tick)));
+                    }
+                    it->second = to;
+                }
+                auto &line = copies[r.line];
+                if (to == L1State::I)
+                    line.erase(r.node);
+                else
+                    line[r.node] = to;
+                if (to == L1State::M || to == L1State::E ||
+                    to == L1State::S || to == L1State::W) {
+                    for (const auto &[n, st] : line) {
+                        if (n == r.node)
+                            continue;
+                        bool other_excl = st == L1State::M ||
+                                          st == L1State::E;
+                        bool self_excl = to == L1State::M ||
+                                         to == L1State::E;
+                        if (other_excl || (self_excl &&
+                                           st != L1State::I)) {
+                            flag(sim::strfmt(
+                                "SWMR violation: line %#" PRIx64
+                                " is %s at node %u while %s at node "
+                                "%u (tick %" PRIu64 ")",
+                                static_cast<std::uint64_t>(r.line),
+                                r.toName, r.node, l1StateName(st), n,
+                                static_cast<std::uint64_t>(r.tick)));
+                        }
+                    }
+                }
+            }
+        } else if (r.kind == sim::TraceKind::DirTransition) {
+            auto from = static_cast<DirState>(r.from);
+            auto to = static_cast<DirState>(r.to);
+            if (!dirLegal(from, to)) {
+                flag(sim::strfmt(
+                    "illegal directory transition %s->%s (home %u "
+                    "line %#" PRIx64 " tick %" PRIu64 " note %s)",
+                    r.fromName, r.toName, r.node,
+                    static_cast<std::uint64_t>(r.line),
+                    static_cast<std::uint64_t>(r.tick),
+                    r.note ? r.note : "-"));
+            }
+            if (strict) {
+                auto [it, fresh] = dirLast.try_emplace(
+                    trackKey(r.node, r.line), to);
+                if (!fresh) {
+                    if (it->second != from) {
+                        flag(sim::strfmt(
+                            "directory continuity break: home %u "
+                            "line %#" PRIx64 " was traced %s but "
+                            "transitions from %s at tick %" PRIu64,
+                            r.node,
+                            static_cast<std::uint64_t>(r.line),
+                            dirStateName(it->second), r.fromName,
+                            static_cast<std::uint64_t>(r.tick)));
+                    }
+                    it->second = to;
+                }
+            }
+        }
+    }
+    return violations;
+}
+
+} // namespace widir::sys

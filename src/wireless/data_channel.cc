@@ -19,6 +19,25 @@ frameKindName(FrameKind kind)
     return "?";
 }
 
+void
+DataChannel::traceFrame(sim::TraceKind kind, const Frame &frame,
+                        std::uint64_t arg)
+{
+    sim::Tracer &tracer = sim_.tracer();
+    if (!(sim::kTraceCompiled && tracer.enabled()))
+        return;
+    sim::TraceRecord r;
+    r.tick = sim_.now();
+    r.kind = kind;
+    r.comp = sim::TraceComponent::DataChannel;
+    r.node = frame.src;
+    r.line = frame.lineAddr;
+    r.op = static_cast<std::uint8_t>(frame.kind);
+    r.opName = frameKindName(frame.kind);
+    r.arg = arg;
+    tracer.emit(r);
+}
+
 DataChannel::DataChannel(Simulator &sim, const DataChannelConfig &cfg)
     : sim_(sim), cfg_(cfg), rng_(sim.makeRng(0x57a7e1e55ULL)),
       receivers_(cfg.numNodes)
@@ -53,6 +72,7 @@ DataChannel::transmit(const Frame &frame, std::function<void()> on_commit)
     tx.frame = frame;
     tx.readyAt = sim_.now();
     tx.onCommit = std::move(on_commit);
+    traceFrame(sim::TraceKind::FrameQueued, frame, tx.token);
     pending_.push_back(std::move(tx));
     scheduleEval();
     return pending_.back().token;
@@ -64,6 +84,7 @@ DataChannel::cancelPending(std::uint64_t token)
     for (auto &tx : pending_) {
         if (tx.token == token && !tx.cancelled) {
             tx.cancelled = true;
+            traceFrame(sim::TraceKind::FrameCancelled, tx.frame, token);
             return true;
         }
     }
@@ -205,6 +226,8 @@ DataChannel::evaluate()
                 std::min(tx.attempt, cfg_.maxBackoffExp);
             std::uint64_t window = 1ULL << exp;
             tx.readyAt = after + rng_.below(window) * cfg_.backoffSlot;
+            traceFrame(sim::TraceKind::FrameCollision, tx.frame,
+                       tx.attempt);
         }
         scheduleEval();
         return;
@@ -221,6 +244,7 @@ DataChannel::evaluate()
                          (unsigned long long)pending_[idx].frame.lineAddr);
         }
         ++jamRejects_;
+        traceFrame(sim::TraceKind::FrameJammed, pending_[idx].frame);
         Tick after = now + 1 + cfg_.collisionCycles;
         busyUntil_ = after;
         busyCycles_ += after - now;
@@ -247,6 +271,7 @@ DataChannel::evaluate()
     pending_.erase(pending_.begin() +
                    static_cast<std::ptrdiff_t>(idx));
     ++successes_;
+    traceFrame(sim::TraceKind::FrameWin, tx.frame, tx.attempt);
     Tick end = now + frameCycles();
     busyUntil_ = end;
     busyCycles_ += end - now;
@@ -260,6 +285,7 @@ DataChannel::evaluate()
     deliveryAt_ = end;
     sim_.scheduleAt(end, [this, frame] {
         deliveryPending_ = false;
+        traceFrame(sim::TraceKind::FrameDelivered, frame);
         for (auto &rx : receivers_) {
             if (rx)
                 rx(frame);

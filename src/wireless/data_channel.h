@@ -171,6 +171,10 @@ class DataChannel
     /** True if some other node's filter matches this frame. */
     bool jammedBy(const PendingTx &tx) const;
 
+    /** Emit one MAC-event trace record (no-op unless tracing). */
+    void traceFrame(sim::TraceKind kind, const Frame &frame,
+                    std::uint64_t arg = 0);
+
     /** (Re)schedule an arbitration pass. */
     void scheduleEval();
 

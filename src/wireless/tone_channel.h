@@ -60,6 +60,15 @@ class ToneChannel
         ++censuses_;
         ++activeCensuses_;
         outstanding_ += participants;
+        sim::Tracer &tracer = sim_.tracer();
+        if (sim::kTraceCompiled && tracer.enabled()) {
+            sim::TraceRecord r;
+            r.tick = sim_.now();
+            r.kind = sim::TraceKind::ToneCensusBegin;
+            r.comp = sim::TraceComponent::ToneChannel;
+            r.arg = participants;
+            tracer.emit(r);
+        }
         waiters_.push_back(std::move(on_silent));
         if (outstanding_ == 0)
             finish();
@@ -95,6 +104,15 @@ class ToneChannel
         // silence later.
         std::vector<std::function<void()>> done;
         done.swap(waiters_);
+        sim::Tracer &tracer = sim_.tracer();
+        if (sim::kTraceCompiled && tracer.enabled()) {
+            sim::TraceRecord r;
+            r.tick = sim_.now();
+            r.kind = sim::TraceKind::ToneCensusEnd;
+            r.comp = sim::TraceComponent::ToneChannel;
+            r.arg = done.size(); // censuses completed by this silence
+            tracer.emit(r);
+        }
         activeCensuses_ = 0;
         sim_.schedule(toneLatency_, [done = std::move(done)] {
             for (const auto &cb : done) {

@@ -1,0 +1,75 @@
+#!/bin/sh
+# docs-check: docs/PROTOCOL.md must mention every enumerator of the
+# protocol-facing enums. Run from anywhere: pass the repo root as $1.
+# Registered as the `docs_check` CTest (tests/CMakeLists.txt) so the
+# reference cannot drift when a message type or state is added.
+set -u
+
+root="${1:-.}"
+doc="$root/docs/PROTOCOL.md"
+if [ ! -f "$doc" ]; then
+    echo "docs-check: missing $doc" >&2
+    exit 1
+fi
+
+fail=0
+
+# extract_enum <file> <EnumName>: print one enumerator per line.
+# Handles single-line (`enum class E { A, B };`) and multi-line bodies,
+# strips //-comments and `= value` initializers.
+extract_enum() {
+    awk -v enum="$2" '
+        $0 ~ "enum class " enum "([^A-Za-z0-9_]|$)" {
+            active = 1; body = 0; done = 0
+        }
+        active {
+            line = $0
+            sub(/\/\/.*/, "", line)
+            if (!body) {
+                if (index(line, "{") == 0) next
+                sub(/^[^{]*{/, "", line)
+                body = 1
+            }
+            if (line ~ /}/) { sub(/}.*/, "", line); done = 1 }
+            n = split(line, parts, ",")
+            for (i = 1; i <= n; i++) {
+                name = parts[i]
+                sub(/=.*/, "", name)
+                gsub(/[^A-Za-z0-9_]/, "", name)
+                if (name != "") print name
+            }
+            if (done) { active = 0 }
+        }
+    ' "$1"
+}
+
+check_enum() {
+    file="$1"
+    enum="$2"
+    names=$(extract_enum "$root/$file" "$enum")
+    if [ -z "$names" ]; then
+        echo "docs-check: found no enumerators for $enum in $file" >&2
+        fail=1
+        return
+    fi
+    for name in $names; do
+        if ! grep -qw "$name" "$doc"; then
+            echo "docs-check: $enum::$name ($file) is not documented" \
+                 "in docs/PROTOCOL.md" >&2
+            fail=1
+        fi
+    done
+}
+
+check_enum src/core/messages.h MsgType
+check_enum src/core/messages.h GrantState
+check_enum src/core/l1_controller.h L1State
+check_enum src/core/directory_controller.h DirState
+check_enum src/core/directory_controller.h TxnType
+check_enum src/wireless/frame.h FrameKind
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs-check: FAILED (update docs/PROTOCOL.md)" >&2
+    exit 1
+fi
+echo "docs-check: OK"
