@@ -854,7 +854,7 @@ DirectoryController::admitJoiner(DirTxn &txn, sim::NodeId requester)
     ++stats_.wJoins;
     ++txn.acksExpected;
     Addr line = txn.line;
-    fabric_.simulator().schedule(
+    fabric_.simulator().scheduleInline(
         fabric_.config().llcDataLatency, [this, line, requester] {
             CacheEntry *e = llc_.lookup(line);
             WIDIR_ASSERT(e, "W join without LLC entry");

@@ -71,10 +71,15 @@ CoherenceFabric::sendWired(const Msg &msg, sim::Tick delay)
     if (!inserted)
         enqueue_at = it->second = std::max(it->second, enqueue_at);
 
-    sim_.scheduleAt(enqueue_at, [this, msg] {
-        bool to_dir = toDirectory(msg.type);
-        mesh_.send(msg.src, msg.dst, bitsFor(msg.type),
-                   [this, msg, to_dir] {
+    // The message rides through both per-hop closures as a pooled slot
+    // index: capturing the ~100-byte Msg by value would force every
+    // wired message onto the event queue's heap-fallback path.
+    std::uint32_t slot = pool_.acquire(msg);
+    sim_.scheduleAtInline(enqueue_at, [this, slot] {
+        const Msg &m = pool_.at(slot);
+        bool to_dir = toDirectory(m.type);
+        auto deliver = [this, slot, to_dir] {
+            const Msg &dm = pool_.at(slot);
             sim::Tracer &tr = sim_.tracer();
             if (sim::kTraceCompiled && tr.enabled()) {
                 sim::TraceRecord r;
@@ -82,18 +87,24 @@ CoherenceFabric::sendWired(const Msg &msg, sim::Tick delay)
                 r.kind = sim::TraceKind::MsgRecv;
                 r.comp = to_dir ? sim::TraceComponent::Directory
                                 : sim::TraceComponent::L1;
-                r.node = msg.dst;
-                r.peer = msg.src;
-                r.line = msg.line;
-                r.op = static_cast<std::uint8_t>(msg.type);
-                r.opName = msgTypeName(msg.type);
+                r.node = dm.dst;
+                r.peer = dm.src;
+                r.line = dm.line;
+                r.op = static_cast<std::uint8_t>(dm.type);
+                r.opName = msgTypeName(dm.type);
                 tr.emit(r);
             }
+            // receive() may sendWired() replies, which acquire fresh
+            // slots; this slot stays live until it returns.
             if (to_dir)
-                dir(msg.dst).receive(msg);
+                dir(dm.dst).receive(dm);
             else
-                l1(msg.dst).receive(msg);
-        });
+                l1(dm.dst).receive(dm);
+            pool_.release(slot);
+        };
+        static_assert(sim::InlineEvent::fitsInline<decltype(deliver)>(),
+                      "mesh delivery closure must stay inline");
+        mesh_.send(m.src, m.dst, bitsFor(m.type), std::move(deliver));
     });
 }
 

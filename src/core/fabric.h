@@ -111,6 +111,8 @@ class CoherenceFabric
     std::vector<DirectoryController *> dirs_;
     /** Last network-enqueue tick per (src, dst), for FIFO clamping. */
     std::unordered_map<std::uint64_t, sim::Tick> lastEnqueue_;
+    /** In-flight wired messages (see MsgPool in core/messages.h). */
+    MsgPool pool_;
     bool trace_ = false;
 };
 

@@ -153,7 +153,7 @@ L1Controller::read(Addr addr, std::uint64_t token)
         e->updateCount = 0;
         array_.touch(e, fabric_.simulator().now());
         std::uint64_t value = e->data.word(addr);
-        fabric_.simulator().schedule(
+        fabric_.simulator().scheduleInline(
             fabric_.config().l1HitLatency,
             [this, token, value] { complete(token, value); });
         return;
@@ -207,7 +207,7 @@ L1Controller::write(Addr addr, std::uint64_t value, std::uint64_t token)
         e->dirty = true;
         e->data.setWord(addr, value);
         array_.touch(e, fabric_.simulator().now());
-        fabric_.simulator().schedule(
+        fabric_.simulator().scheduleInline(
             fabric_.config().l1HitLatency,
             [this, token, value] { complete(token, value); });
         return;
@@ -268,7 +268,7 @@ L1Controller::rmw(Addr addr,
         e->dirty = true;
         e->data.setWord(addr, op.modify(old));
         array_.touch(e, fabric_.simulator().now());
-        fabric_.simulator().schedule(
+        fabric_.simulator().scheduleInline(
             fabric_.config().l1HitLatency,
             [this, token, old] { complete(token, old); });
         return;
@@ -282,7 +282,7 @@ L1Controller::rmw(Addr addr,
         if (op.modify(cur) == cur) {
             e->updateCount = 0;
             array_.touch(e, fabric_.simulator().now());
-            fabric_.simulator().schedule(
+            fabric_.simulator().scheduleInline(
                 fabric_.config().l1HitLatency,
                 [this, token, cur] { complete(token, cur); });
             return;
@@ -378,7 +378,7 @@ L1Controller::retryAfterNack(Addr line)
                  rng_.below((cfg.nackRetryJitter ? cfg.nackRetryJitter
                                                  : 1) *
                             scale);
-    fabric_.simulator().schedule(delay, [this, line] {
+    fabric_.simulator().scheduleInline(delay, [this, line] {
         auto it2 = txns_.find(line);
         if (it2 != txns_.end() && !it2->second.superseded)
             sendRequest(it2->second);
@@ -488,7 +488,9 @@ L1Controller::applyFillAs(const Msg &msg, bool force_w)
     CacheEntry *frame = makeRoom(msg.line);
     if (!frame) {
         // Every way is pinned (rare: RMW-pinned plus concurrent fill in
-        // a 2-way set). Retry the fill shortly.
+        // a 2-way set). Retry the fill shortly. The ~100-byte Msg
+        // capture takes the event queue's heap-fallback path; this is
+        // the cold exception, not the hot fill path.
         Msg copy = msg;
         fabric_.simulator().schedule(4, [this, copy, force_w] {
             applyFillAs(copy, force_w);
@@ -686,7 +688,7 @@ L1Controller::squashWireless(Addr line, bool retry_wired)
     for (auto &d : wtxn.deferred)
         ops->push_back(std::move(d));
     Tick disperse = 1 + rng_.below(10);
-    fabric_.simulator().schedule(disperse, [this, ops] {
+    fabric_.simulator().scheduleInline(disperse, [this, ops] {
         for (auto &op : *ops) {
             switch (op.kind) {
               case TxnKind::Write:

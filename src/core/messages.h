@@ -12,6 +12,8 @@
 #define WIDIR_CORE_MESSAGES_H
 
 #include <cstdint>
+#include <deque>
+#include <vector>
 
 #include "mem/line_data.h"
 #include "sim/types.h"
@@ -72,6 +74,61 @@ struct Msg
     bool hasData = false;           ///< true if `data` is meaningful
     mem::LineData data;             ///< line payload
     /// @}
+};
+
+/**
+ * Free-list pool of in-flight messages.
+ *
+ * A Msg is ~100 bytes (it carries a full cache line), so capturing one
+ * by value in the per-hop delivery closures would blow the event
+ * queue's 48-byte inline budget and heap-allocate on every wired
+ * message. The fabric instead parks the message here and threads a
+ * 4-byte slot index through its closures; the slot is recycled once
+ * the receiving controller returns.
+ *
+ * Slots live in a deque, so references stay valid while new messages
+ * are acquired (a controller's receive() handler sends replies, which
+ * acquire slots while the handler's own slot is still live).
+ */
+class MsgPool
+{
+  public:
+    /** Copy @p m into a slot and return its index. */
+    std::uint32_t
+    acquire(const Msg &m)
+    {
+        ++live_;
+        if (!free_.empty()) {
+            std::uint32_t idx = free_.back();
+            free_.pop_back();
+            slots_[idx] = m;
+            return idx;
+        }
+        slots_.push_back(m);
+        return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+
+    /** Access a live slot. */
+    const Msg &at(std::uint32_t idx) const { return slots_[idx]; }
+
+    /** Return a slot to the free list. */
+    void
+    release(std::uint32_t idx)
+    {
+        --live_;
+        free_.push_back(idx);
+    }
+
+    /** Messages currently in flight. */
+    std::size_t live() const { return live_; }
+
+    /** High-water slot count (pool memory footprint). */
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::deque<Msg> slots_;
+    std::vector<std::uint32_t> free_;
+    std::size_t live_ = 0;
 };
 
 /** True for message types that carry a full cache line. */

@@ -142,7 +142,7 @@ Core::suspendForSpace(std::coroutine_handle<> resume_handle)
 void
 Core::waitIdle(Tick cycles, std::coroutine_handle<> resume_handle)
 {
-    sim_.schedule(cycles, [this, resume_handle] {
+    sim_.scheduleInline(cycles, [this, resume_handle] {
         resume_handle.resume();
         scheduleStep(0);
     });
@@ -231,7 +231,9 @@ Core::scheduleStep(Tick delay)
         return;
     stepScheduled_ = true;
     stepAt_ = when;
-    sim_.scheduleAt(when, [this, when] {
+    // The single hottest schedule site in the simulator: one event
+    // per core step. Must stay on the inline path.
+    sim_.scheduleAtInline(when, [this, when] {
         if (stepAt_ == when)
             stepScheduled_ = false;
         step();

@@ -74,7 +74,9 @@ class MainMemory
         Tick latency = serviceLatency(addr);
         ++reads_;
         Addr line = lineAlign(addr);
-        sim_.schedule(latency, [this, line, done = std::move(done)] {
+        // this + line + std::function is exactly the 48-byte budget.
+        sim_.scheduleInline(latency,
+                            [this, line, done = std::move(done)] {
             done(peekLine(line));
         });
     }
@@ -90,6 +92,10 @@ class MainMemory
         Tick latency = serviceLatency(addr);
         ++writes_;
         Addr line = lineAlign(addr);
+        // Carries the 64-byte line payload: deliberately NOT inline.
+        // The write must stay invisible until it "performs" at the
+        // memory, so the data rides in the (heap-fallback) closure;
+        // writebacks are per-eviction, not per-cycle.
         sim_.schedule(latency,
                       [this, line, data, done = std::move(done)] {
             pokeLine(line, data);

@@ -83,7 +83,7 @@ Mesh::linkIndex(NodeId from, NodeId to) const
 
 void
 Mesh::send(NodeId src, NodeId dst, std::uint32_t bits,
-           std::function<void()> deliver)
+           sim::EventFn deliver)
 {
     WIDIR_ASSERT(src < cfg_.numNodes && dst < cfg_.numNodes,
                  "mesh endpoint out of range (src=%u dst=%u)", src, dst);
@@ -150,7 +150,10 @@ Mesh::broadcast(NodeId src, std::uint32_t bits, bool include_self,
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         if (n == src && !include_self)
             continue;
-        send(src, n, bits, [deliver_at, n] { deliver_at(n); });
+        auto deliver = [deliver_at, n] { deliver_at(n); };
+        static_assert(sim::InlineEvent::fitsInline<decltype(deliver)>(),
+                      "broadcast delivery closure must stay inline");
+        send(src, n, bits, std::move(deliver));
     }
 }
 

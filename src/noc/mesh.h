@@ -57,9 +57,12 @@ class Mesh
      * Send @p bits of payload from @p src to @p dst; @p deliver runs at
      * the destination when the message fully arrives. src == dst models
      * a request to the local slice (one cycle, zero network hops).
+     *
+     * Hot path: @p deliver should fit sim::InlineEvent's inline buffer
+     * (pool bulky payloads and capture an index; see core/fabric.cc).
      */
     void send(NodeId src, NodeId dst, std::uint32_t bits,
-              std::function<void()> deliver);
+              sim::EventFn deliver);
 
     /**
      * Convenience broadcast: one unicast to every node (optionally

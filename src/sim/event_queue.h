@@ -6,24 +6,43 @@
  * The secondary sequence key makes execution order total and therefore
  * deterministic: two events scheduled for the same tick run in the order
  * they were scheduled.
+ *
+ * Host-performance layout (docs/PERF.md): protocol events are almost
+ * always scheduled a handful of cycles out (L1 round trips, mesh hops,
+ * wireless frame times, memory round trips), so the queue is a hybrid:
+ *
+ *  - a calendar wheel of kWheelSize one-tick buckets covering the
+ *    near-future window [now, now + kWheelSize). Scheduling is an
+ *    append to the target bucket; a 1-bit-per-bucket occupancy bitmap
+ *    finds the next non-empty tick with word-wide scans.
+ *  - a binary min-heap on (tick, seq) for the rare far-future events
+ *    (deep exponential backoff, heavily queued memory banks).
+ *
+ * Both sides store sim::InlineEvent closures, so typical captures live
+ * inside the queue storage instead of behind a std::function heap
+ * allocation. Same-tick events may live on both sides at once; the pop
+ * path breaks the tie on the sequence number, which keeps execution
+ * order identical to a single totally-ordered queue (the cross-scheduler
+ * determinism test in tests/test_scheduler_determinism.cc pins this).
  */
 
 #ifndef WIDIR_SIM_EVENT_QUEUE_H
 #define WIDIR_SIM_EVENT_QUEUE_H
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_event.h"
 #include "sim/log.h"
 #include "sim/types.h"
 
 namespace widir::sim {
 
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineEvent;
 
 /**
  * Priority queue of timestamped events with deterministic same-tick
@@ -32,7 +51,10 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Near-future window covered by the calendar wheel, in ticks. */
+    static constexpr std::size_t kWheelSize = 1024;
+
+    EventQueue() : slots_(kWheelSize) {}
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -41,10 +63,10 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return wheelCount_ + heap_.size(); }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending() == 0; }
 
     /**
      * Schedule @p fn to run at absolute time @p when.
@@ -57,7 +79,17 @@ class EventQueue
                      "event scheduled in the past (%llu < %llu)",
                      static_cast<unsigned long long>(when),
                      static_cast<unsigned long long>(now_));
-        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+        std::uint64_t seq = nextSeq_++;
+        if (when - now_ < kWheelSize && !forceHeapForTest_) {
+            Slot &s = slots_[when & kWheelMask];
+            s.events.push_back(WheelEntry{seq, std::move(fn)});
+            occupied_[(when & kWheelMask) >> 6] |=
+                std::uint64_t{1} << (when & 63);
+            ++wheelCount_;
+            wheelNext_ = std::min(wheelNext_, when);
+        } else {
+            heapPush(HeapEntry{when, seq, std::move(fn)});
+        }
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
@@ -74,15 +106,13 @@ class EventQueue
     bool
     step()
     {
-        if (heap_.empty())
+        Tick next = nextEventTick();
+        if (next == kTickNever)
             return false;
-        // Move the closure out before popping so the entry can be
-        // destroyed safely even if the callback schedules new events.
-        Entry top = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        now_ = top.when;
+        EventFn fn = popAt(next);
+        now_ = next;
         ++executed_;
-        top.fn();
+        fn();
         return true;
     }
 
@@ -99,42 +129,187 @@ class EventQueue
     bool
     run(Tick limit = kTickNever)
     {
-        while (!heap_.empty()) {
-            if (heap_.top().when > limit) {
+        for (;;) {
+            Tick next = nextEventTick();
+            if (next == kTickNever)
+                return true;
+            if (next > limit) {
                 now_ = std::max(now_, limit);
                 return false;
             }
-            step();
+            EventFn fn = popAt(next);
+            now_ = next;
+            ++executed_;
+            fn();
         }
-        return true;
     }
 
     /** Total number of events executed so far. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Test-only hook: route every future schedule to the far-future
+     * heap, bypassing the calendar wheel. The (tick, seq) order is
+     * identical either way; the cross-scheduler determinism test runs
+     * whole experiments in both modes and requires byte-identical
+     * stats. Process-global; set it only in single-threaded tests.
+     */
+    static void setForceHeapForTest(bool on) { forceHeapForTest_ = on; }
+
   private:
-    struct Entry
+    static constexpr Tick kWheelMask = kWheelSize - 1;
+    static constexpr std::size_t kWords = kWheelSize / 64;
+
+    struct WheelEntry
+    {
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    /** One tick's events; head indexes the next entry to run. */
+    struct Slot
+    {
+        std::vector<WheelEntry> events;
+        std::uint32_t head = 0;
+    };
+
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
         EventFn fn;
     };
 
-    struct Later
+    static bool
+    heapBefore(const HeapEntry &a, const HeapEntry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Earliest pending tick across wheel and heap (kTickNever: none). */
+    Tick
+    nextEventTick() const
+    {
+        Tick wheel = wheelCount_ ? wheelNext_ : kTickNever;
+        Tick heap = heap_.empty() ? kTickNever : heap_.front().when;
+        return std::min(wheel, heap);
+    }
+
+    /**
+     * Pop the lowest-(tick, seq) event at tick @p when. Same-tick
+     * events can sit on both sides at once; the sequence number breaks
+     * the tie exactly as a single ordered queue would.
+     */
+    EventFn
+    popAt(Tick when)
+    {
+        bool from_wheel = wheelCount_ && wheelNext_ == when;
+        if (from_wheel && !heap_.empty() &&
+            heap_.front().when == when) {
+            const Slot &s = slots_[when & kWheelMask];
+            from_wheel = s.events[s.head].seq < heap_.front().seq;
+        }
+        return from_wheel ? popWheel(when) : popHeap();
+    }
+
+    EventFn
+    popWheel(Tick when)
+    {
+        Slot &s = slots_[when & kWheelMask];
+        EventFn fn = std::move(s.events[s.head].fn);
+        ++s.head;
+        --wheelCount_;
+        if (s.head == s.events.size()) {
+            // Keep the vector's capacity: the slot is reused for tick
+            // when + kWheelSize a revolution later.
+            s.events.clear();
+            s.head = 0;
+            occupied_[(when & kWheelMask) >> 6] &=
+                ~(std::uint64_t{1} << (when & 63));
+            wheelNext_ = wheelCount_ ? scanFrom(when) : kTickNever;
+        }
+        return fn;
+    }
+
+    /**
+     * Find the next occupied wheel tick at or after @p from by a
+     * circular scan of the occupancy bitmap. Only called with events
+     * present, and all wheel events lie in [now, now + kWheelSize), so
+     * the scan always terminates within one revolution.
+     */
+    Tick
+    scanFrom(Tick from) const
+    {
+        std::size_t start = from & kWheelMask;
+        std::size_t word = start >> 6;
+        std::uint64_t bits =
+            occupied_[word] & (~std::uint64_t{0} << (start & 63));
+        for (std::size_t i = 0;; ++i) {
+            if (bits) {
+                std::size_t slot =
+                    (word << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                return from + ((slot - start) & kWheelMask);
+            }
+            WIDIR_ASSERT(i <= kWords, "occupancy bitmap out of sync");
+            word = (word + 1) & (kWords - 1);
+            bits = occupied_[word];
+        }
+    }
+
+    void
+    heapPush(HeapEntry e)
+    {
+        heap_.push_back(std::move(e));
+        std::size_t i = heap_.size() - 1;
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!heapBefore(heap_[i], heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    EventFn
+    popHeap()
+    {
+        EventFn fn = std::move(heap_.front().fn);
+        if (heap_.size() > 1)
+            heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        // Sift the relocated root down to its place.
+        std::size_t i = 0;
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t left = 2 * i + 1;
+            if (left >= n)
+                break;
+            std::size_t best = left;
+            std::size_t right = left + 1;
+            if (right < n && heapBefore(heap_[right], heap_[left]))
+                best = right;
+            if (!heapBefore(heap_[best], heap_[i]))
+                break;
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+        return fn;
+    }
+
+    std::vector<Slot> slots_;
+    std::uint64_t occupied_[kWords] = {};
+    std::size_t wheelCount_ = 0;
+    /** Earliest tick with a wheel event (exact while wheelCount_ > 0). */
+    Tick wheelNext_ = kTickNever;
+    std::vector<HeapEntry> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+
+    inline static bool forceHeapForTest_ = false;
 };
 
 } // namespace widir::sim

@@ -79,6 +79,37 @@ class Simulator
     }
 
     /**
+     * Hot-path schedule: like schedule(), but the callable's captures
+     * must fit the event queue's inline buffer. Protocol fast paths
+     * (L1 hits, mesh hops, wireless frames, message delivery) use this
+     * so a capture that grows past the budget -- and would silently
+     * start heap-allocating on every simulated cycle -- breaks the
+     * build instead (docs/PERF.md).
+     */
+    template <typename F>
+    void
+    scheduleInline(Tick delay, F &&fn)
+    {
+        static_assert(InlineEvent::fitsInline<F>(),
+                      "hot-path event capture exceeds the 48-byte "
+                      "inline budget; shrink the capture (pool the "
+                      "payload) or use schedule()");
+        queue_.schedule(delay, std::forward<F>(fn));
+    }
+
+    /** Absolute-time variant of scheduleInline(). */
+    template <typename F>
+    void
+    scheduleAtInline(Tick when, F &&fn)
+    {
+        static_assert(InlineEvent::fitsInline<F>(),
+                      "hot-path event capture exceeds the 48-byte "
+                      "inline budget; shrink the capture (pool the "
+                      "payload) or use scheduleAt()");
+        queue_.scheduleAt(when, std::forward<F>(fn));
+    }
+
+    /**
      * Run until the event queue drains or @p limit is reached.
      *
      * A drained queue means the simulated system is quiescent: in a

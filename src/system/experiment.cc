@@ -1,6 +1,7 @@
 #include "system/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include <memory>
@@ -106,8 +107,16 @@ runExperiment(const ExperimentSpec &spec)
     r.scale = spec.scale;
     r.maxWiredSharers = spec.maxWiredSharers;
     r.updateCountThreshold = cfg.protocol.updateCountThreshold;
+    auto host_start = std::chrono::steady_clock::now();
     r.cycles = m.run(workload::makeProgram(*spec.app, params),
                      2'000'000'000ull);
+    std::chrono::duration<double> host_elapsed =
+        std::chrono::steady_clock::now() - host_start;
+    r.executedEvents = m.simulator().queue().executedEvents();
+    r.hostSeconds = host_elapsed.count();
+    r.hostEventsPerSec = r.hostSeconds > 0.0
+        ? static_cast<double>(r.executedEvents) / r.hostSeconds
+        : 0.0;
 
     auto violations = checkCoherence(m);
     if (!violations.empty()) {

@@ -90,6 +90,17 @@ struct ExperimentResult
     std::uint64_t traceRecords = 0; ///< records past the window filter
     std::uint64_t traceDropped = 0; ///< ring-buffer overwrites
     /// @}
+
+    /// @name Host performance (docs/PERF.md)
+    ///
+    /// executedEvents is deterministic for a given configuration; the
+    /// host_* figures are wall-clock measurements and vary from run to
+    /// run (strip them before diffing sweep outputs for bit-identity).
+    /// @{
+    std::uint64_t executedEvents = 0; ///< simulator events run
+    double hostSeconds = 0.0;         ///< wall time of the run() call
+    double hostEventsPerSec = 0.0;    ///< executedEvents / hostSeconds
+    /// @}
 };
 
 /** One experiment configuration. */

@@ -143,6 +143,12 @@ resultToJson(const ExperimentResult &r, int indent)
     w.field("collision_probability", r.collisionProbability);
     w.field("to_wireless", r.toWireless);
     w.field("to_shared", r.toShared);
+    // Host-perf block. executed_events is deterministic; the host_*
+    // wall-clock figures are not -- strip them before byte-diffing two
+    // sweeps for identity (docs/PERF.md).
+    w.field("executed_events", r.executedEvents);
+    w.field("host_wall_seconds", r.hostSeconds);
+    w.field("host_events_per_sec", r.hostEventsPerSec);
     w.key("energy");
     {
         ObjectWriter e(out, indent + 2);

@@ -63,7 +63,7 @@ DataChannel::signature(sim::Addr line) const
 }
 
 std::uint64_t
-DataChannel::transmit(const Frame &frame, std::function<void()> on_commit)
+DataChannel::transmit(const Frame &frame, sim::EventFn on_commit)
 {
     WIDIR_ASSERT(frame.src < cfg_.numNodes,
                  "frame source out of range");
@@ -155,7 +155,7 @@ DataChannel::scheduleEval()
     // moment evaluate() stops being idempotent).
     evalAt_ = earliest;
     std::uint64_t gen = ++evalGen_;
-    sim_.scheduleAt(earliest, [this, gen] {
+    sim_.scheduleAtInline(earliest, [this, gen] {
         if (gen != evalGen_)
             return; // superseded by an earlier reschedule
         evalAt_ = sim::kTickNever;
@@ -171,7 +171,7 @@ DataChannel::evaluate()
     // an older event sequence number): re-queue behind it so receivers
     // observe the previous frame before anyone starts a new one.
     if (deliveryPending_ && deliveryAt_ == now) {
-        sim_.scheduleAt(now, [this] { evaluate(); });
+        sim_.scheduleAtInline(now, [this] { evaluate(); });
         return;
     }
     // Drop cancelled entries lazily.
@@ -277,13 +277,14 @@ DataChannel::evaluate()
     busyCycles_ += end - now;
 
     if (tx.onCommit) {
-        sim_.scheduleAt(now + cfg_.commitOffset,
-                        [fn = std::move(tx.onCommit)] { fn(); });
+        // Already an EventFn: scheduling it directly keeps the commit
+        // inline (wrapping it in another lambda would not fit).
+        sim_.scheduleAt(now + cfg_.commitOffset, std::move(tx.onCommit));
     }
     Frame frame = tx.frame;
     deliveryPending_ = true;
     deliveryAt_ = end;
-    sim_.scheduleAt(end, [this, frame] {
+    sim_.scheduleAtInline(end, [this, frame] {
         deliveryPending_ = false;
         traceFrame(sim::TraceKind::FrameDelivered, frame);
         for (auto &rx : receivers_) {

@@ -89,11 +89,11 @@ class DataChannel
      * jams until it succeeds or is cancelled.
      *
      * @param on_commit Runs at the commit point (transmission
-     *                  guaranteed); may be null.
+     *                  guaranteed); may be null. Hot path: keep the
+     *                  captures within sim::InlineEvent's budget.
      * @return a token that can cancel the pending transmission.
      */
-    std::uint64_t transmit(const Frame &frame,
-                           std::function<void()> on_commit);
+    std::uint64_t transmit(const Frame &frame, sim::EventFn on_commit);
 
     /**
      * Cancel a transmission that has not yet committed (used when a
@@ -149,7 +149,7 @@ class DataChannel
         Frame frame;
         Tick readyAt;
         std::uint32_t attempt = 0;
-        std::function<void()> onCommit;
+        sim::EventFn onCommit;
         bool cancelled = false;
     };
 

@@ -114,7 +114,7 @@ class ToneChannel
             tracer.emit(r);
         }
         activeCensuses_ = 0;
-        sim_.schedule(toneLatency_, [done = std::move(done)] {
+        sim_.scheduleInline(toneLatency_, [done = std::move(done)] {
             for (const auto &cb : done) {
                 if (cb)
                     cb();

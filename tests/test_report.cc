@@ -58,6 +58,9 @@ fakeResult()
     r.energy.l2dir = 3.75;
     r.energy.noc = 4.125;
     r.energy.wnoc = 0.0625;
+    r.executedEvents = 424242;
+    r.hostSeconds = 0.5;
+    r.hostEventsPerSec = 848484.0;
     return r;
 }
 
@@ -123,6 +126,10 @@ expectRoundTrips(const ExperimentResult &r, const sys::json::Value &v)
               r.collisionProbability);
     EXPECT_EQ(v.find("to_wireless")->asUint(), r.toWireless);
     EXPECT_EQ(v.find("to_shared")->asUint(), r.toShared);
+    EXPECT_EQ(v.find("executed_events")->asUint(), r.executedEvents);
+    EXPECT_EQ(v.find("host_wall_seconds")->number, r.hostSeconds);
+    EXPECT_EQ(v.find("host_events_per_sec")->number,
+              r.hostEventsPerSec);
 
     const auto *energy = v.find("energy");
     ASSERT_TRUE(energy && energy->isObject());

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/inline_event.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -16,6 +20,16 @@
 namespace {
 
 using namespace widir;
+
+/** Scoped EventQueue::setForceHeapForTest (restores on destruction). */
+struct ForceHeapGuard
+{
+    explicit ForceHeapGuard(bool on)
+    {
+        sim::EventQueue::setForceHeapForTest(on);
+    }
+    ~ForceHeapGuard() { sim::EventQueue::setForceHeapForTest(false); }
+};
 
 TEST(EventQueue, ExecutesInTimeOrder)
 {
@@ -249,6 +263,150 @@ TEST(EventQueue, RunLimitAdvancesEvenWithNoEligibleEvents)
     EXPECT_FALSE(q.run(999));
     EXPECT_EQ(q.now(), 999u);
     EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, SameTickFifoAcrossWheelAndHeap)
+{
+    // Same-tick events can sit on the wheel and the far-future heap
+    // at once; the pop path must interleave them in schedule order
+    // exactly as a single totally-ordered queue would.
+    sim::EventQueue q;
+    std::vector<int> order;
+    auto rec = [&order](int i) {
+        return [&order, i] { order.push_back(i); };
+    };
+    q.scheduleAt(50, rec(0)); // wheel
+    {
+        ForceHeapGuard heap_only(true);
+        q.scheduleAt(50, rec(1)); // heap
+    }
+    q.scheduleAt(50, rec(2)); // wheel
+    {
+        ForceHeapGuard heap_only(true);
+        q.scheduleAt(50, rec(3)); // heap
+        q.scheduleAt(50, rec(4)); // heap
+    }
+    q.scheduleAt(50, rec(5)); // wheel
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, FarFutureEventsRunInTimeOrder)
+{
+    // Delays beyond the wheel window land on the heap; order across
+    // the wheel/heap boundary must still be strictly by (tick, seq).
+    sim::EventQueue q;
+    std::vector<sim::Tick> fired;
+    for (sim::Tick t : {sim::Tick{5000}, sim::Tick{3000}, sim::Tick{1},
+                        sim::Tick{1023}, sim::Tick{1024},
+                        sim::Tick{2047}})
+        q.scheduleAt(t, [&fired, t] { fired.push_back(t); });
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(fired, (std::vector<sim::Tick>{1, 1023, 1024, 2047, 3000,
+                                             5000}));
+    EXPECT_EQ(q.now(), 5000u);
+}
+
+TEST(EventQueue, WheelSlotsReusedAcrossRevolutions)
+{
+    // A self-rescheduling event walks the wheel through several full
+    // revolutions; each slot must come back clean for its next tick.
+    sim::EventQueue q;
+    constexpr sim::Tick kStep = 1023; // slides one slot per revolution
+    constexpr int kHops = 5000;       // ~5 revolutions of 1024 slots
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < kHops)
+            q.schedule(kStep, [&chain] { chain(); });
+    };
+    q.schedule(kStep, [&chain] { chain(); });
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(fired, kHops);
+    EXPECT_EQ(q.now(), static_cast<sim::Tick>(kStep) * kHops);
+    EXPECT_TRUE(q.empty());
+}
+
+using EventQueueDeathTest = ::testing::Test;
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    sim::EventQueue q;
+    q.scheduleAt(10, [] {});
+    EXPECT_TRUE(q.run());
+    ASSERT_EQ(q.now(), 10u);
+    EXPECT_DEATH(q.scheduleAt(5, [] {}), "scheduled in the past");
+}
+
+TEST(InlineEvent, SmallCapturesStayInline)
+{
+    std::uint64_t before = sim::InlineEvent::heapFallbacks();
+    std::array<std::uint64_t, 5> payload{1, 2, 3, 4, 5}; // 40 bytes
+    std::uint64_t sum = 0;
+    auto fn = [payload, &sum] {
+        for (auto v : payload)
+            sum += v;
+    };
+    static_assert(sim::InlineEvent::fitsInline<decltype(fn)>());
+    sim::InlineEvent ev(fn);
+    EXPECT_TRUE(ev.isInline());
+    EXPECT_TRUE(static_cast<bool>(ev));
+    ev();
+    EXPECT_EQ(sum, 15u);
+    EXPECT_EQ(sim::InlineEvent::heapFallbacks(), before);
+}
+
+TEST(InlineEvent, OversizedCapturesFallBackToHeap)
+{
+    std::array<std::uint64_t, 8> payload{}; // 64 bytes: over budget
+    payload[7] = 99;
+    std::uint64_t got = 0;
+    auto fn = [payload, &got] { got = payload[7]; };
+    static_assert(!sim::InlineEvent::fitsInline<decltype(fn)>());
+    std::uint64_t before = sim::InlineEvent::heapFallbacks();
+    sim::InlineEvent ev(fn);
+    EXPECT_EQ(sim::InlineEvent::heapFallbacks(), before + 1);
+    EXPECT_FALSE(ev.isInline());
+    ev();
+    EXPECT_EQ(got, 99u);
+}
+
+TEST(InlineEvent, MoveTransfersAndDestroysExactlyOnce)
+{
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> alive = token;
+    {
+        sim::InlineEvent a([token] { (void)*token; });
+        token.reset();
+        EXPECT_FALSE(alive.expired()); // capture keeps it alive
+
+        sim::InlineEvent b(std::move(a));
+        EXPECT_FALSE(static_cast<bool>(a)); // moved-from is empty
+        EXPECT_TRUE(static_cast<bool>(b));
+        EXPECT_FALSE(alive.expired());
+
+        sim::InlineEvent c;
+        c = std::move(b);
+        EXPECT_FALSE(static_cast<bool>(b));
+        EXPECT_FALSE(alive.expired());
+        c();
+    }
+    EXPECT_TRUE(alive.expired()); // destructor released the capture
+}
+
+TEST(InlineEvent, QueueHotPathTakesNoHeapFallback)
+{
+    // The acceptance criterion for the hot path: scheduling typical
+    // protocol-shaped closures through scheduleInline never allocates.
+    sim::Simulator s(1);
+    std::uint64_t before = sim::InlineEvent::heapFallbacks();
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        std::uint64_t a = i, b = i * 2, c = i * 3;
+        s.scheduleInline(i % 97, [&sum, a, b, c] { sum += a + b + c; });
+    }
+    EXPECT_TRUE(s.run());
+    EXPECT_EQ(sim::InlineEvent::heapFallbacks(), before);
+    EXPECT_EQ(s.queue().executedEvents(), 1000u);
 }
 
 } // namespace

@@ -1,0 +1,81 @@
+#!/bin/sh
+# perf_check.sh BINARY BASELINE_JSON [MIN_SPEEDUP]
+#
+# Host-perf gate for the event kernel (docs/PERF.md). Runs the
+# micro_simkernel benchmark suite, then:
+#
+#  1. HARD CHECK: for every BM_Legacy<X> / BM_<X> pair in the fresh
+#     run, the hybrid kernel must be at least MIN_SPEEDUP (default 2.0)
+#     times faster than the legacy replica. Both sides are measured in
+#     the same process seconds apart, so the ratio is stable across
+#     machines and load -- this is the check that gates.
+#
+#  2. DRIFT REPORT: compares the fresh items/sec against the committed
+#     baseline JSON (bench/BENCH_simkernel.json). Absolute throughput
+#     depends on the machine, so large drift only prints a warning and
+#     never fails the check.
+#
+# Registered as the `perf_check` CTest (CONFIGURATIONS perf): run it
+# with `ctest -C perf -R perf_check`, never in the default tier-1 run.
+
+set -u
+
+BINARY=${1:?usage: perf_check.sh BINARY BASELINE_JSON [MIN_SPEEDUP]}
+BASELINE=${2:?usage: perf_check.sh BINARY BASELINE_JSON [MIN_SPEEDUP]}
+MIN_SPEEDUP=${3:-${WIDIR_PERF_MIN_SPEEDUP:-2.0}}
+
+FRESH=$(mktemp /tmp/widir_bench.XXXXXX.json)
+trap 'rm -f "$FRESH"' EXIT
+
+echo "running $BINARY (this takes a minute)..."
+"$BINARY" --json="$FRESH" --benchmark_min_time=0.5 >/dev/null 2>&1 || {
+    echo "perf_check: benchmark run failed" >&2
+    exit 1
+}
+
+# items_per_second NAME FILE -> value (our own line-per-entry schema).
+ips() {
+    sed -n "s/.*\"name\": \"$1\", \"items_per_second\": \([^,]*\),.*/\1/p" "$2"
+}
+
+fail=0
+
+# --- 1. hybrid vs in-binary legacy replica ---------------------------
+for legacy in $(sed -n 's/.*"name": "\(BM_Legacy[A-Za-z]*\)",.*/\1/p' "$FRESH"); do
+    new=$(printf '%s' "$legacy" | sed 's/^BM_Legacy/BM_/')
+    legacy_ips=$(ips "$legacy" "$FRESH")
+    new_ips=$(ips "$new" "$FRESH")
+    if [ -z "$legacy_ips" ] || [ -z "$new_ips" ]; then
+        echo "perf_check: missing pair for $legacy" >&2
+        fail=1
+        continue
+    fi
+    ok=$(awk -v n="$new_ips" -v l="$legacy_ips" -v min="$MIN_SPEEDUP" \
+        'BEGIN { r = l > 0 ? n / l : 0;
+                 printf "%.2f %d", r, (r >= min) ? 1 : 0 }')
+    ratio=${ok% *}
+    pass=${ok#* }
+    if [ "$pass" = 1 ]; then
+        echo "PASS  $new: ${ratio}x over legacy (need >= ${MIN_SPEEDUP}x)"
+    else
+        echo "FAIL  $new: ${ratio}x over legacy (need >= ${MIN_SPEEDUP}x)" >&2
+        fail=1
+    fi
+done
+
+# --- 2. drift vs committed baseline (warn only) ----------------------
+if [ -f "$BASELINE" ]; then
+    for name in $(sed -n 's/.*"name": "\(BM_[A-Za-z]*\)",.*/\1/p' "$BASELINE"); do
+        base_ips=$(ips "$name" "$BASELINE")
+        cur_ips=$(ips "$name" "$FRESH")
+        [ -n "$base_ips" ] && [ -n "$cur_ips" ] || continue
+        awk -v c="$cur_ips" -v b="$base_ips" -v n="$name" 'BEGIN {
+            if (b > 0 && c < 0.5 * b)
+                printf "WARN  %s: %.3g items/s vs %.3g in the committed baseline (different machine, or a regression?)\n", n, c, b
+        }'
+    done
+else
+    echo "WARN  no committed baseline at $BASELINE (drift report skipped)"
+fi
+
+exit $fail
