@@ -32,8 +32,8 @@ main(int argc, char **argv)
             apps.push_back(app);
     }
 
-    Sweep sweep(benchJobs(argc, argv),
-                benchTrace(argc, argv, "ablation_update_count"));
+    Options opt("ablation_update_count", argc, argv);
+    Sweep sweep(opt);
     std::vector<std::vector<std::size_t>> idx; // [app][threshold]
     for (const AppInfo *app : apps) {
         std::vector<std::size_t> row;

@@ -9,15 +9,25 @@
  * bench/out/<name>.json (widir-sweep-v1 schema, see
  * src/system/report.h) so the perf trajectory is machine-readable.
  *
- * Command line:
- *   --jobs N            worker threads for the sweep
- *   --trace             capture a protocol trace per configuration and
- *                       export Chrome trace-event JSON files next to
- *                       the stats (docs/TRACING.md)
- *   --trace-window=LO:HI  restrict tracing to cycles [LO, HI]
- *                       (implies --trace)
+ * Every bench accepts the same command line, parsed by bench::Options
+ * from one declarative flag table (--help prints it):
+ *   --jobs N              worker threads for the sweep
+ *   --trace               capture a protocol trace per configuration
+ *                         and export Chrome trace-event JSON files
+ *                         next to the stats (docs/TRACING.md)
+ *   --trace-window LO:HI  restrict tracing to cycles [LO, HI]
+ *                         (implies --trace)
+ *   --ber B               wireless frame bit-error rate
+ *                         (docs/FAULTS.md; repeatable where a bench
+ *                         sweeps it, e.g. sensitivity_ber)
+ *   --preamble-loss P     per-frame preamble-loss probability
+ *   --tone-loss P         per-observation tone-pulse-loss probability
+ *   --burst B:ENTER[:EXIT]  Gilbert-Elliott burst noise: burst-state
+ *                         BER plus enter/exit probabilities
+ *   --fault-retries N     per-transmission retry budget
+ *   --fault-seed N        extra seed folded into the fault RNG stream
  *
- * Environment:
+ * Environment (flags win over environment):
  *   WIDIR_BENCH_SCALE   work multiplier (default per bench)
  *   WIDIR_BENCH_CORES   override the core count where applicable
  *   WIDIR_BENCH_APPS    comma-separated subset of app names
@@ -32,12 +42,15 @@
 #define WIDIR_BENCH_COMMON_H
 
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "system/experiment.h"
 #include "system/report.h"
 #include "system/sweep.h"
@@ -114,96 +127,239 @@ benchOutDir()
     return dir && *dir ? dir : "bench/out";
 }
 
-/** Trace capture settings for one bench invocation. */
-struct TraceOpts
-{
-    bool on = false;
-    sim::Tick lo = 0;
-    sim::Tick hi = sim::kTickNever;
-    std::string name; ///< bench name, used for trace file naming
-};
-
 /**
- * Trace knobs: --trace / --trace-window=LO:HI beat WIDIR_TRACE /
- * WIDIR_TRACE_WINDOW. A window implies tracing on.
+ * Parsed command line for one bench binary.
+ *
+ * The constructor consumes argv against one declarative flag table
+ * (the same table generates --help), applies the WIDIR_TRACE /
+ * WIDIR_TRACE_WINDOW environment fallbacks, and exits with a usage
+ * message on any unknown flag -- every bench therefore rejects typos
+ * instead of silently ignoring them.
  */
-inline TraceOpts
-benchTrace(int argc, char **argv, const char *bench_name)
+class Options
 {
-    TraceOpts opts;
-    opts.name = bench_name;
-    auto window = [&opts](const char *val) {
+  public:
+    Options(const char *bench_name, int argc, char **argv)
+        : name_(bench_name)
+    {
+        struct Flag
+        {
+            const char *name;                      ///< e.g. "--jobs"
+            const char *operand;                   ///< null: no operand
+            const char *help;
+            std::function<void(const char *)> parse;
+        };
+        const Flag flags[] = {
+            {"--jobs", "N", "worker threads for the sweep",
+             [this](const char *v) {
+                 long n = std::strtol(v, nullptr, 10);
+                 if (n <= 0)
+                     die("invalid --jobs value '%s'", v);
+                 jobs_ = static_cast<unsigned>(n);
+             }},
+            {"--trace", nullptr,
+             "capture + export a protocol trace per configuration",
+             [this](const char *) { traceOn_ = true; }},
+            {"--trace-window", "LO:HI",
+             "restrict tracing to a cycle window (implies --trace)",
+             [this](const char *v) { parseWindow(v); }},
+            {"--ber", "B",
+             "wireless frame bit-error rate (repeatable)",
+             [this](const char *v) {
+                 double b = parseProb("--ber", v);
+                 fault_.ber = b;
+                 bers_.push_back(b);
+             }},
+            {"--preamble-loss", "P",
+             "per-frame preamble-loss probability",
+             [this](const char *v) {
+                 fault_.preambleLossProb = parseProb("--preamble-loss", v);
+             }},
+            {"--tone-loss", "P",
+             "per-observation tone-pulse-loss probability",
+             [this](const char *v) {
+                 fault_.toneLossProb = parseProb("--tone-loss", v);
+             }},
+            {"--burst", "B:ENTER[:EXIT]",
+             "Gilbert-Elliott burst noise: BER in the burst state "
+             "plus enter/exit probabilities",
+             [this](const char *v) { parseBurst(v); }},
+            {"--fault-retries", "N",
+             "per-transmission retry budget before wired fallback",
+             [this](const char *v) {
+                 long n = std::strtol(v, nullptr, 10);
+                 if (n <= 0)
+                     die("invalid --fault-retries value '%s'", v);
+                 fault_.retryBudget = static_cast<std::uint32_t>(n);
+             }},
+            {"--fault-seed", "N",
+             "extra seed folded into the fault RNG stream",
+             [this](const char *v) {
+                 fault_.seed = std::strtoull(v, nullptr, 10);
+             }},
+        };
+
+        if (const char *env = std::getenv("WIDIR_TRACE"))
+            traceOn_ = *env && std::strcmp(env, "0") != 0;
+        if (const char *env = std::getenv("WIDIR_TRACE_WINDOW"))
+            parseWindow(env);
+
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+                printHelp(flags, sizeof(flags) / sizeof(flags[0]));
+                std::exit(0);
+            }
+            const Flag *match = nullptr;
+            const char *inline_val = nullptr;
+            for (const Flag &f : flags) {
+                std::size_t n = std::strlen(f.name);
+                if (!std::strcmp(arg, f.name)) {
+                    match = &f;
+                    break;
+                }
+                if (f.operand && !std::strncmp(arg, f.name, n) &&
+                    arg[n] == '=') {
+                    match = &f;
+                    inline_val = arg + n + 1;
+                    break;
+                }
+            }
+            if (!match)
+                die("unknown flag '%s' (try --help)", arg);
+            if (!match->operand) {
+                match->parse(nullptr);
+                continue;
+            }
+            if (!inline_val) {
+                if (i + 1 >= argc)
+                    die("%s requires %s", match->name, match->operand);
+                inline_val = argv[++i];
+            }
+            match->parse(inline_val);
+        }
+
+        if (std::string err = fault_.validate(); !err.empty())
+            die("invalid fault options: %s", err.c_str());
+    }
+
+    const std::string &name() const { return name_; }
+    /** Worker threads; 0 lets SweepRunner pick sys::defaultJobs(). */
+    unsigned jobs() const { return jobs_; }
+
+    /// @name Tracing (mapped onto sys::TraceOptions per spec)
+    /// @{
+    bool traceOn() const { return traceOn_; }
+    sim::Tick traceStart() const { return traceLo_; }
+    sim::Tick traceEnd() const { return traceHi_; }
+    /// @}
+
+    /** Fault spec assembled from the fault flags (default: clean). */
+    const fault::FaultSpec &fault() const { return fault_; }
+
+    /** Every --ber value, in order (sensitivity_ber sweeps these). */
+    const std::vector<double> &berList() const { return bers_; }
+
+  private:
+    [[noreturn]] void
+    die(const char *fmt, ...)
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        std::fprintf(stderr, "%s: ", name_.c_str());
+        std::vfprintf(stderr, fmt, ap);
+        std::fprintf(stderr, "\n");
+        va_end(ap);
+        std::exit(2);
+    }
+
+    void
+    parseWindow(const char *val)
+    {
         char *end = nullptr;
         unsigned long long lo = std::strtoull(val, &end, 10);
-        if (!end || *end != ':') {
-            std::fprintf(stderr,
-                         "trace window must be LO:HI, got '%s'\n", val);
-            std::exit(2);
-        }
+        if (!end || *end != ':')
+            die("trace window must be LO:HI, got '%s'", val);
         unsigned long long hi = std::strtoull(end + 1, nullptr, 10);
-        opts.lo = static_cast<sim::Tick>(lo);
-        opts.hi = static_cast<sim::Tick>(hi);
-        opts.on = true;
-    };
-    if (const char *env = std::getenv("WIDIR_TRACE"))
-        opts.on = *env && std::strcmp(env, "0") != 0;
-    if (const char *env = std::getenv("WIDIR_TRACE_WINDOW"))
-        window(env);
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (!std::strcmp(arg, "--trace"))
-            opts.on = true;
-        else if (!std::strncmp(arg, "--trace-window=", 15))
-            window(arg + 15);
-        else if (!std::strcmp(arg, "--trace-window")) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "--trace-window requires LO:HI\n");
-                std::exit(2);
-            }
-            window(argv[++i]);
-        }
+        traceLo_ = static_cast<sim::Tick>(lo);
+        traceHi_ = static_cast<sim::Tick>(hi);
+        traceOn_ = true;
     }
-    return opts;
-}
 
-/** Sweep worker count: --jobs N beats WIDIR_BENCH_JOBS beats auto. */
-inline unsigned
-benchJobs(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        const char *val = nullptr;
-        if (!std::strcmp(arg, "--jobs")) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "--jobs requires a value\n");
-                std::exit(2);
-            }
-            val = argv[i + 1];
-        } else if (!std::strncmp(arg, "--jobs=", 7))
-            val = arg + 7;
-        if (val) {
-            long v = std::strtol(val, nullptr, 10);
-            if (v > 0)
-                return static_cast<unsigned>(v);
-            std::fprintf(stderr, "invalid --jobs value '%s'\n", val);
-            std::exit(2);
-        }
+    double
+    parseProb(const char *flag, const char *val)
+    {
+        char *end = nullptr;
+        double p = std::strtod(val, &end);
+        if (!end || end == val || *end != '\0' || !(p >= 0.0) ||
+            !(p <= 1.0))
+            die("%s wants a probability in [0,1], got '%s'", flag, val);
+        return p;
     }
-    return sys::defaultJobs();
-}
+
+    void
+    parseBurst(const char *val)
+    {
+        // B:ENTER[:EXIT]; EXIT keeps its FaultSpec default if omitted.
+        std::string s(val);
+        std::size_t c1 = s.find(':');
+        if (c1 == std::string::npos)
+            die("--burst wants B:ENTER[:EXIT], got '%s'", val);
+        std::size_t c2 = s.find(':', c1 + 1);
+        fault_.burstBer = parseProb("--burst", s.substr(0, c1).c_str());
+        std::string enter = c2 == std::string::npos
+            ? s.substr(c1 + 1)
+            : s.substr(c1 + 1, c2 - c1 - 1);
+        fault_.burstEnterProb = parseProb("--burst", enter.c_str());
+        if (c2 != std::string::npos)
+            fault_.burstExitProb =
+                parseProb("--burst", s.substr(c2 + 1).c_str());
+    }
+
+    template <typename FlagT>
+    void
+    printHelp(const FlagT *flags, std::size_t n)
+    {
+        std::printf("usage: %s [flags]\n\n"
+                    "Regenerates one experiment of the WiDir paper; "
+                    "see bench/common.h\nfor the WIDIR_BENCH_* "
+                    "environment knobs.\n\nflags:\n",
+                    name_.c_str());
+        for (std::size_t i = 0; i < n; ++i) {
+            char left[48];
+            std::snprintf(left, sizeof(left), "%s%s%s", flags[i].name,
+                          flags[i].operand ? " " : "",
+                          flags[i].operand ? flags[i].operand : "");
+            std::printf("  %-28s %s\n", left, flags[i].help);
+        }
+        std::printf("  %-28s %s\n", "--help", "this message");
+    }
+
+    std::string name_;
+    unsigned jobs_ = 0;
+    bool traceOn_ = false;
+    sim::Tick traceLo_ = 0;
+    sim::Tick traceHi_ = sim::kTickNever;
+    fault::FaultSpec fault_;
+    std::vector<double> bers_;
+};
 
 /**
  * The bench pattern: phase 1 add()s every configuration (remembering
  * the returned index), run() executes them all on the thread pool,
  * then the printing code reads results back by index -- identical to
  * the old serial run-as-you-print flow, just batched.
+ *
+ * Sweep applies the bench-wide Options (tracing, fault injection) to
+ * every queued spec, so a single --ber flag faults the whole sweep.
  */
 class Sweep
 {
   public:
-    explicit Sweep(unsigned jobs, TraceOpts trace = {})
-        : runner_(jobs), trace_(std::move(trace))
+    explicit Sweep(const Options &opt)
+        : runner_(opt.jobs()), name_(opt.name()),
+          traceOn_(opt.traceOn()), traceLo_(opt.traceStart()),
+          traceHi_(opt.traceEnd()), fault_(opt.fault())
     {
     }
 
@@ -220,22 +376,33 @@ class Sweep
         spec.scale = scale;
         spec.maxWiredSharers = max_wired_sharers;
         spec.updateCountThreshold = update_count_threshold;
-        if (trace_.on) {
-            spec.trace = true;
-            spec.traceStart = trace_.lo;
-            spec.traceEnd = trace_.hi;
+        spec.fault = fault_; // sweep-wide fault flags apply
+        return addSpec(std::move(spec));
+    }
+
+    /**
+     * Queue a fully custom spec. Only the sweep-wide trace options are
+     * layered on top; the caller owns the FaultSpec (sensitivity_ber
+     * sweeps its own BER per row and relies on that).
+     */
+    std::size_t
+    addSpec(ExperimentSpec spec)
+    {
+        if (traceOn_) {
+            spec.trace.enabled = true;
+            spec.trace.start = traceLo_;
+            spec.trace.end = traceHi_;
             char tag[64];
             std::snprintf(tag, sizeof(tag), ".%zu_%s_%s_%uc",
-                          specs_.size(), app.name,
-                          proto == Protocol::WiDir ? "widir"
-                                                   : "baseline",
-                          cores);
-            spec.traceFile = benchOutDir() + "/" +
-                             (trace_.name.empty() ? "sweep"
-                                                  : trace_.name) +
-                             tag + ".trace.json";
+                          specs_.size(), spec.app ? spec.app->name : "?",
+                          spec.protocol == Protocol::WiDir ? "widir"
+                                                           : "baseline",
+                          spec.cores);
+            spec.trace.file = benchOutDir() + "/" +
+                              (name_.empty() ? "sweep" : name_) + tag +
+                              ".trace.json";
         }
-        specs_.push_back(spec);
+        specs_.push_back(std::move(spec));
         return specs_.size() - 1;
     }
 
@@ -244,11 +411,10 @@ class Sweep
     run()
     {
         results_ = runner_.run(specs_);
-        if (trace_.on)
+        if (traceOn_)
             std::printf("[%zu Chrome traces -> %s/%s.*.trace.json]\n",
                         specs_.size(), benchOutDir().c_str(),
-                        trace_.name.empty() ? "sweep"
-                                            : trace_.name.c_str());
+                        name_.empty() ? "sweep" : name_.c_str());
     }
 
     const ExperimentResult &
@@ -280,7 +446,11 @@ class Sweep
 
   private:
     sys::SweepRunner runner_;
-    TraceOpts trace_;
+    std::string name_;
+    bool traceOn_;
+    sim::Tick traceLo_;
+    sim::Tick traceHi_;
+    fault::FaultSpec fault_;
     std::vector<ExperimentSpec> specs_;
     std::vector<ExperimentResult> results_;
 };

@@ -24,8 +24,8 @@ main(int argc, char **argv)
     const std::uint32_t core_counts[] = {4, 16, 32, 64};
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv),
-                benchTrace(argc, argv, "fig10_scalability"));
+    Options opt("fig10_scalability", argc, argv);
+    Sweep sweep(opt);
     // bi[c][a] / wi[c][a]: indices per core count x app; the 4-core
     // Baseline row is also the per-app reference.
     std::vector<std::vector<std::size_t>> bi, wi;

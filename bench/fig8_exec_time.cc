@@ -19,8 +19,8 @@ main(int argc, char **argv)
     const std::uint32_t core_counts[] = {64, 32, 16};
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv),
-                benchTrace(argc, argv, "fig8_exec_time"));
+    Options opt("fig8_exec_time", argc, argv);
+    Sweep sweep(opt);
     // bi[c][a] / wi[c][a]: indices per core count x app.
     std::vector<std::vector<std::size_t>> bi, wi;
     for (std::uint32_t cores : core_counts) {

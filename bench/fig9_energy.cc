@@ -19,8 +19,8 @@ main(int argc, char **argv)
     std::uint32_t scale = sys::benchScale(4);
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv),
-                benchTrace(argc, argv, "fig9_energy"));
+    Options opt("fig9_energy", argc, argv);
+    Sweep sweep(opt);
     std::vector<std::size_t> bi, wi;
     for (const AppInfo *app : apps) {
         bi.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,

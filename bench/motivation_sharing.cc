@@ -34,8 +34,8 @@ main(int argc, char **argv)
     std::uint32_t scale = sys::benchScale(4);
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv),
-                benchTrace(argc, argv, "motivation_sharing"));
+    Options opt("motivation_sharing", argc, argv);
+    Sweep sweep(opt);
     std::vector<std::size_t> wi, bi;
     for (const AppInfo *app : apps) {
         wi.push_back(sweep.add(*app, Protocol::WiDir, cores, scale));

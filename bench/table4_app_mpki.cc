@@ -16,8 +16,8 @@ main(int argc, char **argv)
     std::uint32_t scale = sys::benchScale(4);
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv),
-                benchTrace(argc, argv, "table4_app_mpki"));
+    Options opt("table4_app_mpki", argc, argv);
+    Sweep sweep(opt);
     std::vector<std::size_t> idx;
     for (const AppInfo *app : apps)
         idx.push_back(sweep.add(*app, Protocol::BaselineMESI, cores,

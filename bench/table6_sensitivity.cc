@@ -23,8 +23,8 @@ main(int argc, char **argv)
     const std::uint32_t thresholds[] = {2, 3, 4, 5};
 
     auto apps = benchApps();
-    Sweep sweep(benchJobs(argc, argv),
-                benchTrace(argc, argv, "table6_sensitivity"));
+    Options opt("table6_sensitivity", argc, argv);
+    Sweep sweep(opt);
     // Baseline reference per app (independent of the threshold), then
     // one WiDir run per (threshold x app).
     std::vector<std::size_t> bi;

@@ -288,7 +288,7 @@ DirectoryController::grant(NodeId dst, Addr line, GrantState state,
 void
 DirectoryController::handleCachedRequest(const Msg &msg,
                                          CacheEntry *llc_entry,
-                                         DirEntry &entry)
+                                         DirEntry &entry, bool force_wired)
 {
     const auto &cfg = fabric_.config();
     llc_.touch(llc_entry, fabric_.simulator().now());
@@ -315,10 +315,15 @@ DirectoryController::handleCachedRequest(const Msg &msg,
                 grant(msg.src, msg.line, GrantState::S, *llc_entry);
                 return;
             }
-            if (cfg.wireless() &&
+            if (cfg.wireless() && !force_wired && !entry.bcast &&
                 entry.sharers.size() >= cfg.maxWiredSharers) {
                 // Table II, S->W: the new sharer would push the count
-                // past MaxWiredSharers.
+                // past MaxWiredSharers. Never from a bcast entry: the
+                // census seeds SharerCount from the pointer list, so
+                // an imprecise entry (reachable only via the wired
+                // fault fallback overflowing the pointers) would
+                // undercount the group and dissolve it too early. Such
+                // lines stay wired until a GetX restores precision.
                 startToWireless(msg, entry);
                 return;
             }
@@ -337,7 +342,7 @@ DirectoryController::handleCachedRequest(const Msg &msg,
         bool sharer = std::find(entry.sharers.begin(),
                                 entry.sharers.end(), msg.src) !=
                       entry.sharers.end();
-        if (cfg.wireless() && !sharer &&
+        if (cfg.wireless() && !force_wired && !sharer && !entry.bcast &&
             entry.sharers.size() >= cfg.maxWiredSharers) {
             startToWireless(msg, entry);
             return;
@@ -571,6 +576,8 @@ DirectoryController::handlePutW(const Msg &msg)
           case TxnType::ToShared:
             // A sharer self-invalidated after the count trigger but
             // before (or while) WirDwgr landed: expect one less ack.
+            if (txn->wired)
+                return; // fallback Invs already cover every node
             WIDIR_ASSERT(txn->acksExpected > 0, "ack underflow");
             --txn->acksExpected;
             if (txn->acksReceived >= txn->acksExpected)
@@ -680,6 +687,21 @@ DirectoryController::handleInvAck(const Msg &msg)
     DirTxn *txn = txnOf(line);
     if (!txn)
         return; // stale ack (txn completed via a racing path)
+    if (txn->type == TxnType::ToShared || txn->type == TxnType::RecallW) {
+        // Wired fallback (docs/FAULTS.md): the wireless frame exhausted
+        // its retry budget and the group is being invalidated with a
+        // full Inv broadcast instead; completion is the ack count.
+        if (!txn->wired)
+            return; // stray ack while the wireless frame is in flight
+        ++txn->acksReceived;
+        if (txn->acksReceived < txn->acksExpected)
+            return;
+        if (txn->type == TxnType::ToShared)
+            finishToShared(line);
+        else
+            finishRecall(line, false, nullptr, false);
+        return;
+    }
     if (txn->type != TxnType::InvColl && txn->type != TxnType::RecallS &&
         txn->type != TxnType::RecallEM) {
         return;
@@ -750,8 +772,8 @@ DirectoryController::handleWirDwgrAck(const Msg &msg)
 {
     Addr line = lineAlign(msg.line);
     DirTxn *txn = txnOf(line);
-    if (!txn || txn->type != TxnType::ToShared)
-        return; // stale
+    if (!txn || txn->type != TxnType::ToShared || txn->wired)
+        return; // stale (or superseded by the wired fallback)
     txn->ackIds.push_back(msg.src);
     ++txn->acksReceived;
     if (txn->acksReceived >= txn->acksExpected)
@@ -788,7 +810,9 @@ DirectoryController::startToWireless(const Msg &msg, DirEntry &entry)
     frame.src = node_;
     frame.kind = wireless::FrameKind::BrWirUpgr;
     frame.lineAddr = line;
-    fabric_.dataChannel()->transmit(frame, [this, line] {
+    fabric_.dataChannel()->transmit(
+        frame,
+        [this, line] {
         DirTxn *txn = txnOf(line);
         WIDIR_ASSERT(txn && txn->type == TxnType::ToWireless,
                      "BrWirUpgr commit without ToWireless txn");
@@ -809,7 +833,8 @@ DirectoryController::startToWireless(const Msg &msg, DirEntry &entry)
         fabric_.toneChannel()->beginCensus(
             fabric_.numNodes(),
             [this, line] { finishToWireless(line); });
-    });
+        },
+        [this, line] { abortToWireless(line); });
 }
 
 void
@@ -909,7 +934,10 @@ DirectoryController::startToShared(Addr line)
     frame.src = node_;
     frame.kind = wireless::FrameKind::WirDwgr;
     frame.lineAddr = line;
-    fabric_.dataChannel()->transmit(frame, nullptr);
+    fabric_.dataChannel()->transmit(frame, nullptr,
+                                    [this, line] {
+                                        fallbackToShared(line);
+                                    });
     if (txn.acksExpected == 0) {
         // Every sharer already self-invalidated; nothing will ack.
         finishToShared(line);
@@ -944,6 +972,95 @@ DirectoryController::finishToShared(Addr line)
     // Table II, W->S row: a dirty LLC copy is written to memory.
     writebackIfDirty(e);
     endTxn(line);
+}
+
+// ---------------------------------------------------------------------
+// Wired fallbacks under fault injection (docs/FAULTS.md)
+// ---------------------------------------------------------------------
+
+void
+DirectoryController::traceFallback(Addr line, const char *frame_kind)
+{
+    sim::Tracer &tracer = fabric_.simulator().tracer();
+    if (!(sim::kTraceCompiled && tracer.enabled()))
+        return;
+    sim::TraceRecord r;
+    r.tick = fabric_.simulator().now();
+    r.kind = sim::TraceKind::WirelessFallback;
+    r.comp = sim::TraceComponent::Directory;
+    r.node = node_;
+    r.line = line;
+    r.opName = frame_kind;
+    tracer.emit(r);
+}
+
+void
+DirectoryController::broadcastFallbackInvs(DirTxn &txn)
+{
+    // The dropped frame would have identified the survivors for us
+    // (WirDwgrAcks); without it we cannot tell who still holds a copy,
+    // so invalidate the whole machine. Every L1 acks an Inv even on a
+    // miss (the RecallS broadcast path relies on the same property),
+    // so completion is exactly numNodes InvAcks.
+    txn.wired = true;
+    txn.ackIds.clear();
+    txn.acksReceived = 0;
+    txn.acksExpected = fabric_.numNodes();
+    stats_.invsSent += fabric_.numNodes();
+    for (NodeId n = 0; n < fabric_.numNodes(); ++n) {
+        Msg inv;
+        inv.type = MsgType::Inv;
+        inv.dst = n;
+        inv.line = txn.line;
+        send(inv, fabric_.config().dirProcLatency);
+    }
+}
+
+void
+DirectoryController::abortToWireless(Addr line)
+{
+    DirTxn *txn = txnOf(line);
+    if (!txn || txn->type != TxnType::ToWireless)
+        return; // stale failure notification
+    // The BrWirUpgr never committed, so no L1 saw anything: the entry
+    // is still untouched in S and the requester is still waiting. Undo
+    // the transaction and re-dispatch the original request with the
+    // S->W transition suppressed -- it completes as a plain wired
+    // GetS/GetX against the (possibly overflowing) sharer set.
+    ++stats_.wirelessFallbacks;
+    traceFallback(line, "BrWirUpgr");
+    Msg req;
+    req.type = txn->reqType;
+    req.src = txn->requester;
+    req.line = line;
+    endTxn(line);
+    CacheEntry *e = llc_.lookup(line);
+    WIDIR_ASSERT(e, "aborted S->W without LLC entry");
+    auto it = entries_.find(line);
+    WIDIR_ASSERT(it != entries_.end(), "aborted S->W without dir entry");
+    handleCachedRequest(req, e, it->second, /*force_wired=*/true);
+}
+
+void
+DirectoryController::fallbackToShared(Addr line)
+{
+    DirTxn *txn = txnOf(line);
+    if (!txn || txn->type != TxnType::ToShared || txn->wired)
+        return; // stale failure notification
+    ++stats_.wirelessFallbacks;
+    traceFallback(line, "WirDwgr");
+    broadcastFallbackInvs(*txn);
+}
+
+void
+DirectoryController::fallbackRecallW(Addr line)
+{
+    DirTxn *txn = txnOf(line);
+    if (!txn || txn->type != TxnType::RecallW || txn->wired)
+        return; // stale failure notification
+    ++stats_.wirelessFallbacks;
+    traceFallback(line, "WirInv");
+    broadcastFallbackInvs(*txn);
 }
 
 // ---------------------------------------------------------------------
@@ -1081,7 +1198,10 @@ DirectoryController::startRecall(CacheEntry *victim)
         frame.src = node_;
         frame.kind = wireless::FrameKind::WirInv;
         frame.lineAddr = line;
-        fabric_.dataChannel()->transmit(frame, nullptr);
+        fabric_.dataChannel()->transmit(frame, nullptr,
+                                        [this, line] {
+                                            fallbackRecallW(line);
+                                        });
         return;
       }
       case DirState::I:

@@ -606,7 +606,46 @@ L1Controller::issueWirelessWrite(const PendingOp &op)
     auto *channel = fabric_.dataChannel();
     WIDIR_ASSERT(channel, "wireless write without a wireless channel");
     ins->second.channelToken = channel->transmit(
-        frame, [this, line] { wirelessCommit(line); });
+        frame, [this, line] { wirelessCommit(line); },
+        [this, line] { wirelessWriteFault(line); });
+}
+
+void
+L1Controller::wirelessWriteFault(Addr line)
+{
+    // The channel exhausted the fault-retry budget for our WirUpd
+    // (docs/FAULTS.md). The frame never committed, so no sharer saw
+    // anything. Degrade gracefully: leave the wireless sharing group
+    // exactly like an UpdateCount expiry (PutW to the home, W -> I)
+    // and retry the queued ops -- with the line now Invalid they take
+    // the wired GetX path.
+    auto it = wirelessTxns_.find(line);
+    if (it == wirelessTxns_.end())
+        return; // a racing WirDwgr/WirInv already squashed us
+    ++stats_.wirelessFallbacks;
+    sim::Tracer &tracer = fabric_.simulator().tracer();
+    if (sim::kTraceCompiled && tracer.enabled()) {
+        sim::TraceRecord r;
+        r.tick = fabric_.simulator().now();
+        r.kind = sim::TraceKind::WirelessFallback;
+        r.comp = sim::TraceComponent::L1;
+        r.node = node_;
+        r.line = line;
+        r.opName = "WirUpd";
+        tracer.emit(r);
+    }
+    squashWireless(line, true);
+    CacheEntry *e = array_.lookup(line);
+    if (e && static_cast<L1State>(e->state) == L1State::W) {
+        ++stats_.putWSent;
+        Msg put;
+        put.type = MsgType::PutW;
+        put.dst = fabric_.homeOf(line);
+        put.line = line;
+        traceState(line, L1State::W, L1State::I, "fault");
+        array_.invalidate(e);
+        send(put);
+    }
 }
 
 void
@@ -783,8 +822,19 @@ L1Controller::handleInv(const Msg &msg)
     ack.dst = msg.src;
     ack.line = msg.line;
     if (e && static_cast<L1State>(e->state) != L1State::I) {
-        WIDIR_ASSERT(static_cast<L1State>(e->state) != L1State::W,
-                     "wired Inv for a W line");
+        if (static_cast<L1State>(e->state) == L1State::W) {
+            // Wired-fallback invalidation (docs/FAULTS.md): the home
+            // could not get a WirDwgr/WirInv frame onto the faulty
+            // channel and broadcast wired Invs instead. Treat it like
+            // a WirInv: invalidate, ack without data (the home's LLC
+            // slice observes every committed WirUpd, so W data is
+            // never lost), and squash-and-retry any pending write.
+            traceState(msg.line, L1State::W, L1State::I, "Inv");
+            array_.invalidate(e);
+            send(ack);
+            squashWireless(msg.line, true);
+            return;
+        }
         if (msg.needData &&
             (static_cast<L1State>(e->state) == L1State::M)) {
             ack.hasData = true;

@@ -117,6 +117,8 @@ class L1Controller
         std::uint64_t wirelessWrites = 0;    ///< committed WirUpd frames
         std::uint64_t wirelessSquashes = 0;  ///< pending writes squashed
         std::uint64_t updatesApplied = 0;    ///< remote WirUpd applied
+        /** WirUpds re-routed to the wired path (docs/FAULTS.md). */
+        std::uint64_t wirelessFallbacks = 0;
     };
     const Stats &stats() const { return stats_; }
     /// @}
@@ -177,6 +179,8 @@ class L1Controller
     void issueWirelessWrite(const PendingOp &op);
     void wirelessCommit(sim::Addr line);
     void squashWireless(sim::Addr line, bool retry_wired);
+    /** Channel gave up on our WirUpd: degrade to the wired path. */
+    void wirelessWriteFault(sim::Addr line);
 
     // -- fills, hits, evictions ----------------------------------------
     void completeOps(std::vector<PendingOp> ops);

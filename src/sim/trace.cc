@@ -68,6 +68,11 @@ traceKindName(TraceKind k)
       case TraceKind::NocSend: return "NocSend";
       case TraceKind::CoreOp: return "CoreOp";
       case TraceKind::Warn: return "Warn";
+      case TraceKind::FrameCrcError: return "FrameCrcError";
+      case TraceKind::FramePreambleLoss: return "FramePreambleLoss";
+      case TraceKind::FrameFaultDrop: return "FrameFaultDrop";
+      case TraceKind::ToneRetry: return "ToneRetry";
+      case TraceKind::WirelessFallback: return "WirelessFallback";
     }
     return "?";
 }

@@ -49,6 +49,44 @@ ExperimentResult::memStallFraction() const
               static_cast<double>(totalCoreCycles);
 }
 
+std::string
+TraceOptions::validate() const
+{
+    std::string err;
+    auto add = [&err](const char *msg) {
+        if (!err.empty())
+            err += "; ";
+        err += msg;
+    };
+    if (start > end)
+        add("trace.start is past trace.end");
+    if (!enabled && !file.empty())
+        add("trace.file set but trace.enabled is false");
+    return err;
+}
+
+std::string
+ExperimentSpec::validate() const
+{
+    std::string err;
+    auto add = [&err](const std::string &msg) {
+        if (msg.empty())
+            return;
+        if (!err.empty())
+            err += "; ";
+        err += msg;
+    };
+    if (app == nullptr)
+        add("no app selected");
+    if (cores == 0)
+        add("cores must be positive");
+    if (scale == 0)
+        add("scale must be positive");
+    add(trace.validate());
+    add(fault.validate());
+    return err;
+}
+
 std::uint32_t
 benchScale(std::uint32_t fallback)
 {
@@ -64,7 +102,8 @@ benchScale(std::uint32_t fallback)
 ExperimentResult
 runExperiment(const ExperimentSpec &spec)
 {
-    WIDIR_ASSERT(spec.app != nullptr, "experiment without an app");
+    if (std::string err = spec.validate(); !err.empty())
+        sim::fatal("invalid ExperimentSpec: %s", err.c_str());
     SystemConfig cfg =
         spec.protocol == coherence::Protocol::WiDir
             ? SystemConfig::widir(spec.cores)
@@ -77,6 +116,7 @@ runExperiment(const ExperimentSpec &spec)
     // MaxWiredSharers <= sharer pointers, so grow Dir_iB accordingly.
     cfg.protocol.dirPointers =
         std::max(cfg.protocol.dirPointers, spec.maxWiredSharers);
+    cfg.fault = spec.fault;
 
     Manycore m(cfg);
     workload::WorkloadParams params;
@@ -88,12 +128,12 @@ runExperiment(const ExperimentSpec &spec)
     // are bit-identical to the same run untraced.
     TraceRing ring;
     std::unique_ptr<ChromeTraceWriter> chrome;
-    if (spec.trace) {
+    if (spec.trace.enabled) {
         sim::Tracer &tracer = m.simulator().tracer();
         tracer.setEnabled(true);
-        tracer.setWindow(spec.traceStart, spec.traceEnd);
+        tracer.setWindow(spec.trace.start, spec.trace.end);
         tracer.addSink(ring.sink());
-        if (!spec.traceFile.empty()) {
+        if (!spec.trace.file.empty()) {
             chrome = std::make_unique<ChromeTraceWriter>();
             tracer.addSink(chrome->sink());
         }
@@ -124,12 +164,12 @@ runExperiment(const ExperimentSpec &spec)
                    spec.app->name, violations.front().c_str());
     }
 
-    if (spec.trace) {
+    if (spec.trace.enabled) {
         // Continuity and SWMR need the whole history: only apply them
         // when the window covered the full run and nothing fell out of
         // the ring.
-        bool strict = ring.dropped() == 0 && spec.traceStart == 0 &&
-                      spec.traceEnd == sim::kTickNever;
+        bool strict = ring.dropped() == 0 && spec.trace.start == 0 &&
+                      spec.trace.end == sim::kTickNever;
         auto trace_violations = checkTraceLegality(ring, strict);
         if (!trace_violations.empty()) {
             sim::fatal("experiment %s produced an illegal trace: %s",
@@ -137,7 +177,7 @@ runExperiment(const ExperimentSpec &spec)
                        trace_violations.front().c_str());
         }
         if (chrome)
-            chrome->write(spec.traceFile);
+            chrome->write(spec.trace.file);
         r.traceRecords = m.simulator().tracer().emitted();
         r.traceDropped = ring.dropped();
     }
@@ -170,6 +210,18 @@ runExperiment(const ExperimentSpec &spec)
     r.toShared = dir.toShared;
     if (auto *ch = m.dataChannel())
         r.collisionProbability = ch->collisionProbability();
+
+    r.faultInjection = m.faultModel() != nullptr;
+    r.fault = spec.fault;
+    if (auto *ch = m.dataChannel()) {
+        r.frameCrcErrors = ch->crcErrors();
+        r.framePreambleLosses = ch->preambleLosses();
+        r.faultRetries = ch->faultRetries();
+        r.frameFaultDrops = ch->faultDrops();
+    }
+    if (auto *tc = m.toneChannel())
+        r.toneRetries = tc->toneRetries();
+    r.wirelessFallbacks = l1.wirelessFallbacks + dir.wirelessFallbacks;
 
     energy::EnergyInputs ein;
     ein.cycles = r.cycles;

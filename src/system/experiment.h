@@ -19,6 +19,7 @@
 
 #include "core/protocol_config.h"
 #include "energy/energy_model.h"
+#include "fault/fault.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 #include "workload/params.h"
@@ -91,6 +92,22 @@ struct ExperimentResult
     std::uint64_t traceDropped = 0; ///< ring-buffer overwrites
     /// @}
 
+    /// @name Fault injection and resilience (docs/FAULTS.md)
+    ///
+    /// Serialized into widir-sweep-v1 as a "fault" object only when
+    /// faultInjection is true, so clean sweeps stay byte-identical to
+    /// outputs produced before fault injection existed.
+    /// @{
+    bool faultInjection = false;  ///< fault layer armed for this run
+    fault::FaultSpec fault;       ///< echo of the injected spec
+    std::uint64_t frameCrcErrors = 0;      ///< corrupted data frames
+    std::uint64_t framePreambleLosses = 0; ///< undetected frame starts
+    std::uint64_t faultRetries = 0;        ///< frame re-transmissions
+    std::uint64_t frameFaultDrops = 0;     ///< retry budget exhausted
+    std::uint64_t toneRetries = 0;         ///< missed silence re-polls
+    std::uint64_t wirelessFallbacks = 0;   ///< L1 + directory re-routes
+    /// @}
+
     /// @name Host performance (docs/PERF.md)
     ///
     /// executedEvents is deterministic for a given configuration; the
@@ -103,7 +120,26 @@ struct ExperimentResult
     /// @}
 };
 
-/** One experiment configuration. */
+/** Tracing controls (docs/TRACING.md), nested in ExperimentSpec. */
+struct TraceOptions
+{
+    bool enabled = false;     ///< enable the sim::Tracer
+    sim::Tick start = 0;      ///< inclusive cycle window
+    sim::Tick end = sim::kTickNever;
+    /** Chrome trace-event JSON output path (empty: no export). */
+    std::string file;
+
+    /** Empty when consistent, else a "; "-joined problem list. */
+    std::string validate() const;
+};
+
+/**
+ * One experiment configuration.
+ *
+ * Call validate() (or let runExperiment do it, fatally) after filling
+ * in the fields; the nested trace and fault blocks carry their own
+ * invariants.
+ */
 struct ExperimentSpec
 {
     const workload::AppInfo *app = nullptr;
@@ -115,17 +151,24 @@ struct ExperimentSpec
     /** 0 keeps the ProtocolConfig default (ablation bench sweeps it). */
     std::uint32_t updateCountThreshold = 0;
 
-    /// @name Tracing (docs/TRACING.md)
-    /// @{
-    bool trace = false;            ///< enable the sim::Tracer
-    sim::Tick traceStart = 0;      ///< inclusive cycle window
-    sim::Tick traceEnd = sim::kTickNever;
-    /** Chrome trace-event JSON output path (empty: no export). */
-    std::string traceFile;
-    /// @}
+    /** Tracing (docs/TRACING.md). */
+    TraceOptions trace;
+
+    /**
+     * Wireless fault injection (docs/FAULTS.md). Ignored by wired-only
+     * protocols (there is no wireless channel to disturb), so a sweep
+     * can apply one FaultSpec to every leg, Baseline included.
+     */
+    fault::FaultSpec fault;
+
+    /** Empty when runnable, else a "; "-joined problem list. */
+    std::string validate() const;
 };
 
-/** Run one configuration to completion and gather the metrics. */
+/**
+ * Run one configuration to completion and gather the metrics.
+ * Fatal on an invalid spec (spec.validate() reports the problems).
+ */
 ExperimentResult runExperiment(const ExperimentSpec &spec);
 
 /**

@@ -25,6 +25,15 @@ Manycore::Manycore(const SystemConfig &cfg) : cfg_(cfg)
             std::make_unique<wireless::DataChannel>(*sim_, cfg_.wnoc);
         toneChannel_ = std::make_unique<wireless::ToneChannel>(
             *sim_, cfg_.numCores);
+        if (cfg_.fault.enabled()) {
+            // Dedicated RNG stream: the fault layer must not perturb
+            // the draws of the clean-machine streams (docs/FAULTS.md).
+            faultModel_ = std::make_unique<fault::FaultModel>(
+                cfg_.fault,
+                sim_->makeRng(0xFA171E57ULL + cfg_.fault.seed));
+            dataChannel_->setFaultModel(faultModel_.get());
+            toneChannel_->setFaultModel(faultModel_.get());
+        }
     }
 
     fabric_ = std::make_unique<coherence::CoherenceFabric>(
@@ -119,6 +128,7 @@ Manycore::l1Totals() const
         total.wirelessWrites += s.wirelessWrites;
         total.wirelessSquashes += s.wirelessSquashes;
         total.updatesApplied += s.updatesApplied;
+        total.wirelessFallbacks += s.wirelessFallbacks;
     }
     return total;
 }
@@ -144,6 +154,7 @@ Manycore::dirTotals() const
         total.wirInvs += s.wirInvs;
         total.updatesObserved += s.updatesObserved;
         total.dirAccesses += s.dirAccesses;
+        total.wirelessFallbacks += s.wirelessFallbacks;
     }
     return total;
 }

@@ -26,6 +26,7 @@
 #include "cpu/core.h"
 #include "cpu/task.h"
 #include "cpu/thread.h"
+#include "fault/fault.h"
 #include "mem/main_memory.h"
 #include "noc/mesh.h"
 #include "sim/simulator.h"
@@ -46,6 +47,12 @@ struct SystemConfig
     noc::MeshConfig mesh;          ///< numNodes overridden by numCores
     wireless::DataChannelConfig wnoc; ///< numNodes overridden too
     mem::MainMemory::Config memory;
+    /**
+     * Wireless fault injection (docs/FAULTS.md). Disabled by default;
+     * a machine built with the default spec is event-for-event
+     * identical to one built before fault injection existed.
+     */
+    fault::FaultSpec fault;
 
     /** Convenience: baseline (wired-only MESI Dir_3_B) machine. */
     static SystemConfig
@@ -87,6 +94,8 @@ class Manycore
     mem::MainMemory &memory() { return *memory_; }
     wireless::DataChannel *dataChannel() { return dataChannel_.get(); }
     wireless::ToneChannel *toneChannel() { return toneChannel_.get(); }
+    /** Fault sampler, or null when fault injection is disabled. */
+    fault::FaultModel *faultModel() { return faultModel_.get(); }
     coherence::CoherenceFabric &fabric() { return *fabric_; }
 
     coherence::L1Controller &l1(sim::NodeId n) { return *l1s_.at(n); }
@@ -124,6 +133,7 @@ class Manycore
     std::unique_ptr<mem::MainMemory> memory_;
     std::unique_ptr<wireless::DataChannel> dataChannel_;
     std::unique_ptr<wireless::ToneChannel> toneChannel_;
+    std::unique_ptr<fault::FaultModel> faultModel_;
     std::unique_ptr<coherence::CoherenceFabric> fabric_;
     std::vector<std::unique_ptr<coherence::DirectoryController>> dirs_;
     std::vector<std::unique_ptr<coherence::L1Controller>> l1s_;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -73,6 +74,10 @@ struct ObjectWriter
     field(const char *k, double v)
     {
         key(k);
+        // JSON has no NaN/Infinity literals; clamp so the document
+        // stays parseable by any reader (and by json::parse below).
+        if (!std::isfinite(v))
+            v = 0.0;
         // %.17g round-trips doubles exactly; trim to readable forms
         // where possible.
         out += sim::strfmt("%.17g", v);
@@ -149,6 +154,31 @@ resultToJson(const ExperimentResult &r, int indent)
     w.field("executed_events", r.executedEvents);
     w.field("host_wall_seconds", r.hostSeconds);
     w.field("host_events_per_sec", r.hostEventsPerSec);
+    if (r.faultInjection) {
+        // Emitted only when the fault layer was armed, so clean-run
+        // outputs stay byte-identical to documents written before
+        // fault injection existed (docs/FAULTS.md).
+        w.key("fault");
+        ObjectWriter f(out, indent + 2);
+        f.field("ber", r.fault.ber);
+        f.field("preamble_loss_prob", r.fault.preambleLossProb);
+        f.field("tone_loss_prob", r.fault.toneLossProb);
+        f.field("burst_ber", r.fault.burstBer);
+        f.field("burst_enter_prob", r.fault.burstEnterProb);
+        f.field("burst_exit_prob", r.fault.burstExitProb);
+        f.field("frame_bits",
+                static_cast<std::uint64_t>(r.fault.frameBits));
+        f.field("retry_budget",
+                static_cast<std::uint64_t>(r.fault.retryBudget));
+        f.field("fault_seed", r.fault.seed);
+        f.field("frame_crc_errors", r.frameCrcErrors);
+        f.field("frame_preamble_losses", r.framePreambleLosses);
+        f.field("fault_retries", r.faultRetries);
+        f.field("frame_fault_drops", r.frameFaultDrops);
+        f.field("tone_retries", r.toneRetries);
+        f.field("wireless_fallbacks", r.wirelessFallbacks);
+        f.close();
+    }
     w.key("energy");
     {
         ObjectWriter e(out, indent + 2);
@@ -428,6 +458,9 @@ struct Parser
 bool
 parse(const std::string &text, Value &out, std::string *err)
 {
+    // Callers reuse Value holders across parses; parseValue appends
+    // members, so a stale tree would silently merge with the new one.
+    out = Value{};
     Parser p(text);
     if (!p.parseValue(out)) {
         if (err)

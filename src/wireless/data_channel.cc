@@ -63,7 +63,8 @@ DataChannel::signature(sim::Addr line) const
 }
 
 std::uint64_t
-DataChannel::transmit(const Frame &frame, sim::EventFn on_commit)
+DataChannel::transmit(const Frame &frame, sim::EventFn on_commit,
+                      sim::EventFn on_fail)
 {
     WIDIR_ASSERT(frame.src < cfg_.numNodes,
                  "frame source out of range");
@@ -72,6 +73,7 @@ DataChannel::transmit(const Frame &frame, sim::EventFn on_commit)
     tx.frame = frame;
     tx.readyAt = sim_.now();
     tx.onCommit = std::move(on_commit);
+    tx.onFail = std::move(on_fail);
     traceFrame(sim::TraceKind::FrameQueued, frame, tx.token);
     pending_.push_back(std::move(tx));
     scheduleEval();
@@ -256,6 +258,60 @@ DataChannel::evaluate()
         tx.readyAt = after + rng_.below(4) * cfg_.backoffSlot;
         scheduleEval();
         return;
+    }
+
+    // Fault injection (docs/FAULTS.md): a lone acquisition can still
+    // lose its preamble to a fade or deliver a payload every
+    // receiver's CRC rejects. Fates are sampled here, before the
+    // commit point, so a faulted frame never commits and never reaches
+    // any receiver -- each attempt is all-or-nothing, preserving the
+    // commit point as the protocol's serialization point. The sender
+    // retries through the normal BRS exponential backoff until the
+    // per-transmission budget runs out, then drops the frame and runs
+    // its on_fail callback (wired fallback).
+    if (fault_) {
+        fault::FrameFate fate = fault_->sampleFrame();
+        if (fate != fault::FrameFate::Clean) {
+            PendingTx &tx = pending_[idx];
+            ++tx.faultRetries;
+            Tick after;
+            if (fate == fault::FrameFate::PreambleLoss) {
+                // The fade is noticed in the collision-detect window,
+                // costing the same as a collision.
+                ++preambleLosses_;
+                after = now + 1 + cfg_.collisionCycles;
+                traceFrame(sim::TraceKind::FramePreambleLoss, tx.frame,
+                           tx.faultRetries);
+            } else {
+                // Corruption wastes the whole frame time plus one
+                // cycle for the receivers' CRC NACK.
+                ++crcErrors_;
+                after = now + frameCycles() + 1;
+                traceFrame(sim::TraceKind::FrameCrcError, tx.frame,
+                           tx.faultRetries);
+            }
+            busyUntil_ = after;
+            busyCycles_ += after - now;
+            if (tx.faultRetries > fault_->spec().retryBudget) {
+                ++faultDrops_;
+                traceFrame(sim::TraceKind::FrameFaultDrop, tx.frame,
+                           tx.faultRetries);
+                sim::EventFn on_fail = std::move(tx.onFail);
+                pending_.erase(pending_.begin() +
+                               static_cast<std::ptrdiff_t>(idx));
+                if (on_fail)
+                    sim_.scheduleAt(after, std::move(on_fail));
+            } else {
+                ++faultRetries_;
+                ++tx.attempt;
+                std::uint32_t exp =
+                    std::min(tx.attempt, cfg_.maxBackoffExp);
+                tx.readyAt =
+                    after + rng_.below(1ULL << exp) * cfg_.backoffSlot;
+            }
+            scheduleEval();
+            return;
+        }
     }
 
     // Successful acquisition: commit at now+commitOffset, deliver the

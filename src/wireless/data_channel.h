@@ -36,6 +36,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault.h"
 #include "mem/address.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -86,14 +87,27 @@ class DataChannel
      * Queue @p frame for transmission from frame.src.
      *
      * The sender keeps retrying through back-off on collisions and
-     * jams until it succeeds or is cancelled.
+     * jams until it succeeds or is cancelled. With fault injection
+     * active (docs/FAULTS.md), corrupted/preamble-lost acquisitions
+     * also retry -- but only fault::FaultSpec::retryBudget times; after
+     * that the frame is dropped and @p on_fail runs so the sender can
+     * fall back to the wired path.
      *
      * @param on_commit Runs at the commit point (transmission
      *                  guaranteed); may be null. Hot path: keep the
      *                  captures within sim::InlineEvent's budget.
+     * @param on_fail   Runs if the fault-retry budget is exhausted
+     *                  (never with faults disabled); may be null.
      * @return a token that can cancel the pending transmission.
      */
-    std::uint64_t transmit(const Frame &frame, sim::EventFn on_commit);
+    std::uint64_t transmit(const Frame &frame, sim::EventFn on_commit,
+                           sim::EventFn on_fail = {});
+
+    /**
+     * Attach the fault-injection sampler (null: clean channel). Set
+     * once at system build; the model is shared with the tone channel.
+     */
+    void setFaultModel(fault::FaultModel *model) { fault_ = model; }
 
     /**
      * Cancel a transmission that has not yet committed (used when a
@@ -123,6 +137,18 @@ class DataChannel
     std::uint64_t collisionEvents() const { return collisionEvents_; }
     std::uint64_t jamRejects() const { return jamRejects_; }
     std::uint64_t txAttempts() const { return attempts_; }
+
+    /// @name Fault-injection statistics (all zero on a clean channel)
+    /// @{
+    /** Acquisitions whose payload an injected bit error corrupted. */
+    std::uint64_t crcErrors() const { return crcErrors_; }
+    /** Acquisitions whose preamble an injected fade erased. */
+    std::uint64_t preambleLosses() const { return preambleLosses_; }
+    /** Backoff retries caused by injected faults. */
+    std::uint64_t faultRetries() const { return faultRetries_; }
+    /** Transmissions dropped after exhausting the retry budget. */
+    std::uint64_t faultDrops() const { return faultDrops_; }
+    /// @}
     /** Busy cycles (for energy: medium occupied). */
     std::uint64_t busyCycles() const { return busyCycles_; }
 
@@ -149,7 +175,9 @@ class DataChannel
         Frame frame;
         Tick readyAt;
         std::uint32_t attempt = 0;
+        std::uint32_t faultRetries = 0; ///< injected-fault retries so far
         sim::EventFn onCommit;
+        sim::EventFn onFail;
         bool cancelled = false;
     };
 
@@ -184,6 +212,7 @@ class DataChannel
     Simulator &sim_;
     DataChannelConfig cfg_;
     sim::Rng rng_;
+    fault::FaultModel *fault_ = nullptr; ///< null: clean channel
     std::vector<RxHandler> receivers_;
     std::vector<PendingTx> pending_;
     std::vector<JamFilter> jams_;
@@ -214,6 +243,10 @@ class DataChannel
     std::uint64_t jamRejects_ = 0;
     std::uint64_t attempts_ = 0;
     std::uint64_t busyCycles_ = 0;
+    std::uint64_t crcErrors_ = 0;
+    std::uint64_t preambleLosses_ = 0;
+    std::uint64_t faultRetries_ = 0;
+    std::uint64_t faultDrops_ = 0;
 };
 
 } // namespace widir::wireless

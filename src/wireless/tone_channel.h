@@ -22,10 +22,13 @@
 #ifndef WIDIR_WIRELESS_TONE_CHANNEL_H
 #define WIDIR_WIRELESS_TONE_CHANNEL_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "sim/log.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
@@ -86,8 +89,19 @@ class ToneChannel
             finish();
     }
 
+    /**
+     * Attach the fault-injection sampler (null: clean channel). With
+     * faults, a census initiator can miss the one-cycle silence pulse
+     * (tone-pulse loss) and re-polls after an exponentially growing
+     * interval -- latency only, the census outcome is unchanged.
+     */
+    void setFaultModel(fault::FaultModel *model) { fault_ = model; }
+
     /** Number of censuses begun (for stats/energy). */
     std::uint64_t censuses() const { return censuses_; }
+
+    /** Missed silence pulses re-polled (zero on a clean channel). */
+    std::uint64_t toneRetries() const { return toneRetries_; }
 
     /** True while any census is in flight. */
     bool busy() const { return activeCensuses_ > 0; }
@@ -114,21 +128,60 @@ class ToneChannel
             tracer.emit(r);
         }
         activeCensuses_ = 0;
-        sim_.scheduleInline(toneLatency_, [done = std::move(done)] {
-            for (const auto &cb : done) {
-                if (cb)
-                    cb();
-            }
+        sim_.scheduleInline(toneLatency_,
+                            [this, done = std::move(done)]() mutable {
+            for (auto &cb : done)
+                deliverSilence(std::move(cb), 0);
         });
+    }
+
+    /**
+     * Hand one initiator its silence observation, or -- under injected
+     * tone-pulse loss -- make it re-poll later. deliverSilence calls
+     * the callback synchronously on the clean path, so with no fault
+     * model the event structure is identical to a build without fault
+     * injection (pay-for-what-you-use byte-identity).
+     */
+    void
+    deliverSilence(std::function<void()> cb, std::uint32_t attempt)
+    {
+        if (!cb)
+            return;
+        if (fault_ && attempt < fault_->spec().retryBudget &&
+            fault_->sampleToneLoss()) {
+            ++toneRetries_;
+            sim::Tracer &tracer = sim_.tracer();
+            if (sim::kTraceCompiled && tracer.enabled()) {
+                sim::TraceRecord r;
+                r.tick = sim_.now();
+                r.kind = sim::TraceKind::ToneRetry;
+                r.comp = sim::TraceComponent::ToneChannel;
+                r.arg = attempt + 1;
+                tracer.emit(r);
+            }
+            // Exponentially spaced re-polls; delivery may then lag the
+            // physical silent instant, which is conservative (a census
+            // can only finish late, never early).
+            Tick delay = toneLatency_
+                         << std::min<std::uint32_t>(attempt + 1, 6);
+            sim_.schedule(delay,
+                          [this, cb = std::move(cb), attempt]() mutable {
+                              deliverSilence(std::move(cb), attempt + 1);
+                          });
+            return;
+        }
+        cb();
     }
 
     Simulator &sim_;
     std::uint32_t numNodes_;
     Tick toneLatency_;
+    fault::FaultModel *fault_ = nullptr; ///< null: clean channel
     std::uint32_t outstanding_ = 0;
     std::uint32_t activeCensuses_ = 0;
     std::uint64_t raised_ = 0;
     std::uint64_t censuses_ = 0;
+    std::uint64_t toneRetries_ = 0;
     std::vector<std::function<void()>> waiters_;
 };
 

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -191,6 +193,104 @@ TEST(Report, EmptySweepIsValidJson)
     const auto *arr = doc.find("results");
     ASSERT_TRUE(arr && arr->isArray());
     EXPECT_TRUE(arr->array.empty());
+}
+
+TEST(Report, HostileNamesRoundTrip)
+{
+    // Sweep and app names with every character class the writer must
+    // escape: quotes, backslashes, newlines, tabs, CR, and raw control
+    // bytes. The emitted document must parse, and the strings must
+    // come back byte-for-byte.
+    const std::string hostile =
+        "ev\"il\\app\nwith\ttabs\rand\x01\x1f ctrl";
+    ExperimentResult r = fakeResult();
+    r.app = hostile;
+    std::string text = sys::resultsToJson(hostile, {r});
+
+    sys::json::Value doc;
+    std::string err;
+    ASSERT_TRUE(sys::json::parse(text, doc, &err)) << err;
+    EXPECT_EQ(doc.find("name")->string, hostile);
+    const auto *arr = doc.find("results");
+    ASSERT_TRUE(arr && arr->isArray() && arr->array.size() == 1u);
+    EXPECT_EQ(arr->array[0].find("app")->string, hostile);
+}
+
+TEST(Report, NonFiniteNumbersAreClamped)
+{
+    // NaN/Inf have no JSON encoding; the writer clamps them to 0 so a
+    // pathological host clock can never produce an unparseable sweep.
+    ExperimentResult r = fakeResult();
+    r.hostSeconds = std::nan("");
+    r.hostEventsPerSec = std::numeric_limits<double>::infinity();
+    r.collisionProbability = -std::numeric_limits<double>::infinity();
+    std::string text = sys::resultsToJson("clamped", {r});
+
+    sys::json::Value doc;
+    std::string err;
+    ASSERT_TRUE(sys::json::parse(text, doc, &err)) << err;
+    const auto &res = doc.find("results")->array[0];
+    EXPECT_EQ(res.find("host_wall_seconds")->number, 0.0);
+    EXPECT_EQ(res.find("host_events_per_sec")->number, 0.0);
+    EXPECT_EQ(res.find("collision_probability")->number, 0.0);
+}
+
+TEST(Report, FaultBlockRoundTripsOnlyWhenArmed)
+{
+    // Clean result: no "fault" key at all (clean sweeps stay
+    // byte-identical to pre-fault-injection output).
+    ExperimentResult clean = fakeResult();
+    sys::json::Value doc;
+    std::string err;
+    ASSERT_TRUE(
+        sys::json::parse(sys::resultsToJson("clean", {clean}), doc, &err))
+        << err;
+    EXPECT_EQ(doc.find("results")->array[0].find("fault"), nullptr);
+
+    // Faulted result: the knob echo and every counter round-trips.
+    ExperimentResult r = fakeResult();
+    r.faultInjection = true;
+    r.fault.ber = 1e-4;
+    r.fault.preambleLossProb = 0.01;
+    r.fault.toneLossProb = 0.02;
+    r.fault.burstBer = 0.5;
+    r.fault.burstEnterProb = 0.001;
+    r.fault.burstExitProb = 0.125;
+    r.fault.frameBits = 96;
+    r.fault.retryBudget = 5;
+    r.fault.seed = 77;
+    r.frameCrcErrors = 11;
+    r.framePreambleLosses = 22;
+    r.faultRetries = 33;
+    r.frameFaultDrops = 44;
+    r.toneRetries = 55;
+    r.wirelessFallbacks = 66;
+    // Reusing `doc` on purpose: parse() must reset the holder, not
+    // merge the faulted tree into the clean one parsed above.
+    ASSERT_TRUE(
+        sys::json::parse(sys::resultsToJson("faulted", {r}), doc, &err))
+        << err;
+    const auto *f = doc.find("results")->array[0].find("fault");
+    ASSERT_TRUE(f && f->isObject());
+    EXPECT_EQ(f->find("ber")->number, r.fault.ber);
+    EXPECT_EQ(f->find("preamble_loss_prob")->number,
+              r.fault.preambleLossProb);
+    EXPECT_EQ(f->find("tone_loss_prob")->number, r.fault.toneLossProb);
+    EXPECT_EQ(f->find("burst_ber")->number, r.fault.burstBer);
+    EXPECT_EQ(f->find("burst_enter_prob")->number,
+              r.fault.burstEnterProb);
+    EXPECT_EQ(f->find("burst_exit_prob")->number, r.fault.burstExitProb);
+    EXPECT_EQ(f->find("frame_bits")->asUint(), r.fault.frameBits);
+    EXPECT_EQ(f->find("retry_budget")->asUint(), r.fault.retryBudget);
+    EXPECT_EQ(f->find("fault_seed")->asUint(), r.fault.seed);
+    EXPECT_EQ(f->find("frame_crc_errors")->asUint(), r.frameCrcErrors);
+    EXPECT_EQ(f->find("frame_preamble_losses")->asUint(),
+              r.framePreambleLosses);
+    EXPECT_EQ(f->find("fault_retries")->asUint(), r.faultRetries);
+    EXPECT_EQ(f->find("frame_fault_drops")->asUint(), r.frameFaultDrops);
+    EXPECT_EQ(f->find("tone_retries")->asUint(), r.toneRetries);
+    EXPECT_EQ(f->find("wireless_fallbacks")->asUint(),
+              r.wirelessFallbacks);
 }
 
 TEST(JsonParser, AcceptsScalarsAndNesting)

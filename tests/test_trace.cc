@@ -175,7 +175,7 @@ TEST(Tracer, TracingDoesNotPerturbStats)
     spec.scale = 1;
 
     sys::ExperimentResult untraced = sys::runExperiment(spec);
-    spec.trace = true;
+    spec.trace.enabled = true;
     sys::ExperimentResult traced = sys::runExperiment(spec);
 
     // Tracing must not touch the RNG streams or any timing: every
@@ -199,8 +199,8 @@ TEST(Tracer, ChromeExportIsValidTraceEventJson)
     spec.protocol = coherence::Protocol::WiDir;
     spec.cores = 8;
     spec.scale = 1;
-    spec.trace = true;
-    spec.traceFile = path;
+    spec.trace.enabled = true;
+    spec.trace.file = path;
     sys::runExperiment(spec);
 
     std::FILE *f = std::fopen(path.c_str(), "rb");
@@ -339,7 +339,7 @@ TEST(TraceLegality, AllWorkloadsProduceLegalTraces)
         spec.protocol = coherence::Protocol::WiDir;
         spec.cores = 8;
         spec.scale = 1;
-        spec.trace = true;
+        spec.trace.enabled = true;
         sys::ExperimentResult r = sys::runExperiment(spec);
         EXPECT_GT(r.traceRecords, 0u) << app.name;
     }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -286,6 +287,60 @@ TEST(ToneChannel, ZeroParticipantCensusIsImmediate)
     EXPECT_EQ(silent_at, 1u);
 }
 
+TEST(DataChannel, CollisionStormIsDeterministic)
+{
+    // Two identical 24-sender storms (a second wave lands mid-backoff)
+    // must resolve in exactly the same order at the same ticks: every
+    // BRS back-off draw comes from the channel's own seeded RNG
+    // stream, never from global state.
+    auto storm = [] {
+        std::vector<std::pair<sim::Tick, sim::NodeId>> commits;
+        sim::Simulator s;
+        DataChannel ch(s, cfg(24));
+        for (sim::NodeId n = 0; n < 16; ++n)
+            ch.transmit(updFrame(n, 0x1000 + n * 64),
+                        [&commits, &s, n] {
+                            commits.emplace_back(s.now(), n);
+                        });
+        s.schedule(7, [&commits, &s, &ch] {
+            for (sim::NodeId n = 16; n < 24; ++n)
+                ch.transmit(updFrame(n, 0x1000 + n * 64),
+                            [&commits, &s, n] {
+                                commits.emplace_back(s.now(), n);
+                            });
+        });
+        s.run();
+        return commits;
+    };
+    auto first = storm();
+    auto second = storm();
+    EXPECT_EQ(first.size(), 24u);
+    EXPECT_EQ(first, second);
+}
+
+TEST(DataChannel, SaturatedBackoffStillSerializesAndDrains)
+{
+    // Cap the exponential window at a single doubling: a 16-way storm
+    // keeps redrawing from the same tiny window and collides over and
+    // over. The MAC must not livelock, every frame must commit exactly
+    // once, and committed frames must still be spaced at least a full
+    // frame time apart (one medium, no overlap).
+    sim::Simulator s;
+    DataChannelConfig c = cfg(16);
+    c.maxBackoffExp = 1;
+    DataChannel ch(s, c);
+    std::vector<sim::Tick> commits;
+    for (sim::NodeId n = 0; n < 16; ++n)
+        ch.transmit(updFrame(n, 0x1000 + n * 64),
+                    [&] { commits.push_back(s.now()); });
+    s.run();
+    ASSERT_EQ(commits.size(), 16u);
+    for (std::size_t i = 1; i < commits.size(); ++i)
+        EXPECT_GE(commits[i] - commits[i - 1], 5u);
+    EXPECT_EQ(ch.successes(), 16u);
+    EXPECT_GE(ch.collisionEvents(), 1u);
+}
+
 TEST(ToneChannel, OverlappingCensusesShareSilence)
 {
     // The wired-OR cannot separate concurrent censuses: both complete
@@ -302,6 +357,31 @@ TEST(ToneChannel, OverlappingCensusesShareSilence)
     // until B's finish at 20 -> both observe silence at 21.
     EXPECT_EQ(done_a, 21u);
     EXPECT_EQ(done_b, 21u);
+}
+
+TEST(ToneChannel, ManyOverlappingCensusesResolveTogether)
+{
+    // Census storm: five censuses piled onto the wired-OR at staggered
+    // ticks. None can tell its own cohort's silence from the others',
+    // so all five complete at the single global silence edge after the
+    // very last drop.
+    sim::Simulator s;
+    ToneChannel tone(s, 8);
+    std::vector<sim::Tick> done;
+    for (int c = 0; c < 5; ++c) {
+        s.schedule(static_cast<sim::Tick>(c * 3), [&] {
+            tone.beginCensus(2, [&] { done.push_back(s.now()); });
+        });
+        s.schedule(static_cast<sim::Tick>(30 + c * 4), [&] {
+            tone.drop();
+            tone.drop();
+        });
+    }
+    s.run();
+    ASSERT_EQ(done.size(), 5u);
+    for (sim::Tick t : done)
+        EXPECT_EQ(t, 47u); // last pair drops at 46, 1-cycle latency
+    EXPECT_EQ(tone.censuses(), 5u);
 }
 
 } // namespace

@@ -1,16 +1,19 @@
 #!/bin/sh
-# docs-check: docs/PROTOCOL.md must mention every enumerator of the
-# protocol-facing enums. Run from anywhere: pass the repo root as $1.
-# Registered as the `docs_check` CTest (tests/CMakeLists.txt) so the
-# reference cannot drift when a message type or state is added.
+# docs-check: the reference docs must mention every enumerator of the
+# user-facing enums -- docs/PROTOCOL.md for the protocol, docs/TRACING.md
+# for the trace schema, docs/FAULTS.md for the fault model. Run from
+# anywhere: pass the repo root as $1. Registered as the `docs_check`
+# CTest (tests/CMakeLists.txt) so the references cannot drift when a
+# message type, state, trace kind, or fault knob is added.
 set -u
 
 root="${1:-.}"
-doc="$root/docs/PROTOCOL.md"
-if [ ! -f "$doc" ]; then
-    echo "docs-check: missing $doc" >&2
-    exit 1
-fi
+for d in docs/PROTOCOL.md docs/TRACING.md docs/FAULTS.md; do
+    if [ ! -f "$root/$d" ]; then
+        echo "docs-check: missing $root/$d" >&2
+        exit 1
+    fi
+done
 
 fail=0
 
@@ -43,9 +46,12 @@ extract_enum() {
     ' "$1"
 }
 
+# check_enum <header> <EnumName> <doc>: every enumerator must appear
+# (as a whole word) in the named reference document.
 check_enum() {
     file="$1"
     enum="$2"
+    doc="$root/${3:-docs/PROTOCOL.md}"
     names=$(extract_enum "$root/$file" "$enum")
     if [ -z "$names" ]; then
         echo "docs-check: found no enumerators for $enum in $file" >&2
@@ -55,7 +61,7 @@ check_enum() {
     for name in $names; do
         if ! grep -qw "$name" "$doc"; then
             echo "docs-check: $enum::$name ($file) is not documented" \
-                 "in docs/PROTOCOL.md" >&2
+                 "in ${doc#"$root"/}" >&2
             fail=1
         fi
     done
@@ -67,6 +73,9 @@ check_enum src/core/l1_controller.h L1State
 check_enum src/core/directory_controller.h DirState
 check_enum src/core/directory_controller.h TxnType
 check_enum src/wireless/frame.h FrameKind
+check_enum src/sim/trace.h TraceKind docs/TRACING.md
+check_enum src/sim/trace.h TraceComponent docs/TRACING.md
+check_enum src/fault/fault.h FrameFate docs/FAULTS.md
 
 if [ "$fail" -ne 0 ]; then
     echo "docs-check: FAILED (update docs/PROTOCOL.md)" >&2

@@ -1,0 +1,33 @@
+#!/bin/sh
+# san_check.sh SOURCE_DIR [BUILD_DIR]
+#
+# Sanitizer gate: configures a dedicated build tree with
+# -DWIDIR_SANITIZE=ON (AddressSanitizer + UBSan, see the root
+# CMakeLists.txt), builds it, and runs the default tier-1 ctest suite
+# inside it. Opt-in configurations (`perf`, `asan`) are skipped
+# automatically because a plain `ctest` run never selects them.
+#
+# Registered as the `san_check` CTest (CONFIGURATIONS asan): run it
+# with `ctest -C asan -R san_check`, or invoke this script directly.
+# The sanitized tree lives next to the source by default so repeat
+# runs are incremental.
+
+set -eu
+
+SRC=${1:?usage: san_check.sh SOURCE_DIR [BUILD_DIR]}
+BUILD=${2:-$SRC/build-asan}
+JOBS=${WIDIR_SAN_JOBS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)}
+
+echo "configuring sanitized build in $BUILD..."
+cmake -S "$SRC" -B "$BUILD" -DWIDIR_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+echo "building ($JOBS jobs)..."
+cmake --build "$BUILD" -j "$JOBS" >/dev/null
+
+echo "running tier-1 tests under ASan+UBSan..."
+cd "$BUILD"
+# halt_on_error: UBSan findings must fail the run, not just print.
+ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=0} \
+UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1} \
+    ctest --output-on-failure -j "$JOBS"
