@@ -15,18 +15,6 @@ using sim::Addr;
 using sim::NodeId;
 using sim::Tick;
 
-const char *
-dirStateName(DirState s)
-{
-    switch (s) {
-      case DirState::I:  return "I";
-      case DirState::S:  return "S";
-      case DirState::EM: return "EM";
-      case DirState::W:  return "W";
-    }
-    return "?";
-}
-
 DirectoryController::DirectoryController(CoherenceFabric &fabric,
                                          sim::NodeId node,
                                          const LlcConfig &llc_cfg)
@@ -60,24 +48,6 @@ DirectoryController::txnOf(Addr line)
 {
     auto it = txns_.find(lineAlign(line));
     return it == txns_.end() ? nullptr : &it->second;
-}
-
-const char *
-DirectoryController::txnTypeName(TxnType t)
-{
-    switch (t) {
-      case TxnType::Fetch:      return "Fetch";
-      case TxnType::FwdS:       return "FwdS";
-      case TxnType::FwdX:       return "FwdX";
-      case TxnType::InvColl:    return "InvColl";
-      case TxnType::RecallEM:   return "RecallEM";
-      case TxnType::RecallS:    return "RecallS";
-      case TxnType::RecallW:    return "RecallW";
-      case TxnType::ToWireless: return "ToWireless";
-      case TxnType::WJoin:      return "WJoin";
-      case TxnType::ToShared:   return "ToShared";
-    }
-    return "?";
 }
 
 void
@@ -120,7 +90,7 @@ DirectoryController::beginTxn(TxnType type, Addr line)
         r.node = node_;
         r.line = it->second.line;
         r.op = static_cast<std::uint8_t>(type);
-        r.opName = txnTypeName(type);
+        r.opName = dirTxnTypeName(type);
         tracer.emit(r);
     }
     return it->second;
@@ -144,7 +114,7 @@ DirectoryController::endTxn(Addr line)
         r.node = node_;
         r.line = it->second.line;
         r.op = static_cast<std::uint8_t>(it->second.type);
-        r.opName = txnTypeName(it->second.type);
+        r.opName = dirTxnTypeName(it->second.type);
         tracer.emit(r);
     }
     txns_.erase(it);
@@ -187,37 +157,48 @@ DirectoryController::receive(const Msg &msg)
     WIDIR_ASSERT(fabric_.homeOf(msg.line) == node_,
                  "message homed at the wrong directory slice");
     ++stats_.dirAccesses;
-    switch (msg.type) {
-      case MsgType::GetS:
-      case MsgType::GetX:
-        handleRequest(msg);
-        break;
-      case MsgType::PutS:
-        handlePutS(msg);
-        break;
-      case MsgType::PutE:
-      case MsgType::PutM:
-        handlePutEM(msg);
-        break;
-      case MsgType::PutW:
-        handlePutW(msg);
-        break;
-      case MsgType::InvAck:
-        handleInvAck(msg);
-        break;
-      case MsgType::OwnerData:
-        handleOwnerData(msg);
-        break;
-      case MsgType::WirUpgrAck:
-        handleWirUpgrAck(msg);
-        break;
-      case MsgType::WirDwgrAck:
-        handleWirDwgrAck(msg);
-        break;
-      default:
+    DirEvent ev;
+    if (!dirEventOf(msg.type, ev))
         sim::panic("directory %u received unexpected %s", node_,
                    msgTypeName(msg.type));
+    // Select the action from the protocol table. The action is the
+    // same in every state for these events (the handlers resolve the
+    // per-state outcomes internally), so this lookup is structurally
+    // equivalent to the old switch on the message type.
+    switch (dirActionFor(stateOf(msg.line), ev)) {
+      case DirAction::Request:
+        handleRequest(msg);
+        return;
+      case DirAction::SharedEvictNotice:
+        handlePutS(msg);
+        return;
+      case DirAction::OwnerEvictNotice:
+        handlePutEM(msg);
+        return;
+      case DirAction::WirelessEvictNotice:
+        handlePutW(msg);
+        return;
+      case DirAction::CollectInvAck:
+        handleInvAck(msg);
+        return;
+      case DirAction::OwnerReturn:
+        handleOwnerData(msg);
+        return;
+      case DirAction::CollectJoinAck:
+        handleWirUpgrAck(msg);
+        return;
+      case DirAction::CollectDwgrAck:
+        handleWirDwgrAck(msg);
+        return;
+      case DirAction::ObserveUpdate:
+      case DirAction::ObserveWirInv:
+      case DirAction::Recall:
+      case DirAction::CensusFinish:
+      case DirAction::WirelessFault:
+        break;
     }
+    sim::panic("directory %u: bad table action for %s", node_,
+               msgTypeName(msg.type));
 }
 
 // ---------------------------------------------------------------------
@@ -392,8 +373,15 @@ DirectoryController::handleCachedRequest(const Msg &msg,
       }
 
       case DirState::EM: {
-        WIDIR_ASSERT(entry.owner != msg.src,
-                     "request from the current owner");
+        if (entry.owner == msg.src) {
+            // The owner cannot want a line it still holds: its
+            // PutE/PutM is in flight and this (smaller, faster)
+            // request packet overtook the data-carrying writeback in
+            // the mesh. Bounce it; the retry lands after the Put has
+            // settled the entry back to I.
+            nack(msg);
+            return;
+        }
         ++stats_.fwds;
         DirTxn &txn = beginTxn(msg.type == MsgType::GetS
                                    ? TxnType::FwdS
@@ -580,8 +568,7 @@ DirectoryController::handlePutW(const Msg &msg)
                 return; // fallback Invs already cover every node
             WIDIR_ASSERT(txn->acksExpected > 0, "ack underflow");
             --txn->acksExpected;
-            if (txn->acksReceived >= txn->acksExpected)
-                finishToShared(line);
+            maybeFinishToShared(line);
             return;
           case TxnType::WJoin: {
             auto it = entries_.find(line);
@@ -592,7 +579,13 @@ DirectoryController::handlePutW(const Msg &msg)
             // The downgrade check runs when the join completes.
             return;
           }
-          default:
+          case TxnType::Fetch:
+          case TxnType::FwdS:
+          case TxnType::FwdX:
+          case TxnType::InvColl:
+          case TxnType::RecallEM:
+          case TxnType::RecallS:
+          case TxnType::RecallW:
             return; // e.g. RecallW racing a self-invalidation
         }
     }
@@ -665,10 +658,16 @@ DirectoryController::completeOwnerTxn(const Msg &msg, bool has_data)
       case TxnType::RecallEM:
         finishRecall(line, false, nullptr, false);
         return;
-      default:
-        sim::panic("owner completion on txn type %d",
-                   static_cast<int>(txn->type));
+      case TxnType::Fetch:
+      case TxnType::InvColl:
+      case TxnType::RecallS:
+      case TxnType::RecallW:
+      case TxnType::ToWireless:
+      case TxnType::WJoin:
+      case TxnType::ToShared:
+        break;
     }
+    sim::panic("owner completion on %s txn", dirTxnTypeName(txn->type));
 }
 
 void
@@ -776,8 +775,7 @@ DirectoryController::handleWirDwgrAck(const Msg &msg)
         return; // stale (or superseded by the wired fallback)
     txn->ackIds.push_back(msg.src);
     ++txn->acksReceived;
-    if (txn->acksReceived >= txn->acksExpected)
-        finishToShared(line);
+    maybeFinishToShared(line);
 }
 
 // ---------------------------------------------------------------------
@@ -934,14 +932,37 @@ DirectoryController::startToShared(Addr line)
     frame.src = node_;
     frame.kind = wireless::FrameKind::WirDwgr;
     frame.lineAddr = line;
-    fabric_.dataChannel()->transmit(frame, nullptr,
-                                    [this, line] {
-                                        fallbackToShared(line);
-                                    });
+    txn.frameToken =
+        fabric_.dataChannel()->transmit(frame, nullptr,
+                                        [this, line] {
+                                            fallbackToShared(line);
+                                        });
     if (txn.acksExpected == 0) {
         // Every sharer already self-invalidated; nothing will ack.
-        finishToShared(line);
+        maybeFinishToShared(line);
     }
+}
+
+void
+DirectoryController::maybeFinishToShared(Addr line)
+{
+    DirTxn *txn = txnOf(line);
+    WIDIR_ASSERT(txn && txn->type == TxnType::ToShared,
+                 "completing unknown W->S transition");
+    if (txn->acksReceived < txn->acksExpected)
+        return;
+    if (!txn->frameResolved) {
+        // Every expected ack is in (or racing PutWs drained the count
+        // to zero) but the WirDwgr broadcast is still inside the MAC.
+        // Withdraw it if it has not committed; otherwise hold the
+        // transaction open until our own delivery resolves it --
+        // completing now would orphan a chip-wide downgrade that could
+        // land in the middle of this line's next wireless epoch.
+        if (!fabric_.dataChannel()->cancelPending(txn->frameToken))
+            return; // handleFrame(WirDwgr) finishes the transition
+        txn->frameResolved = true;
+    }
+    finishToShared(line);
 }
 
 void
@@ -1100,7 +1121,20 @@ DirectoryController::receiveFrame(const wireless::Frame &frame)
             finishRecall(line, false, nullptr, false);
         return;
       }
-      default:
+      case wireless::FrameKind::WirDwgr: {
+        // Our own downgrade broadcast is on the air no longer; the
+        // transition completes once the WirDwgrAcks are in -- which
+        // may already be the case if racing PutWs drained the count.
+        DirTxn *txn = txnOf(line);
+        if (txn && txn->type == TxnType::ToShared && !txn->wired) {
+            txn->frameResolved = true;
+            maybeFinishToShared(line);
+        }
+        return;
+      }
+      case wireless::FrameKind::BrWirUpgr:
+        // Our own census broadcast: it completes through the tone
+        // callback, not through this delivery.
         return;
     }
 }

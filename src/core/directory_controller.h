@@ -26,22 +26,12 @@
 
 #include "core/fabric.h"
 #include "core/messages.h"
+#include "core/protocol_table.h"
 #include "mem/cache_array.h"
 #include "sim/stats.h"
 #include "wireless/frame.h"
 
 namespace widir::coherence {
-
-/** Directory states for a line resident in this LLC slice. */
-enum class DirState : std::uint8_t
-{
-    I = 0, ///< in LLC, no cached copies
-    S,     ///< shared by the pointer set (or broadcast bit)
-    EM,    ///< exclusive/modified at `owner`
-    W,     ///< WiDir Wireless Shared: only SharerCount is known
-};
-
-const char *dirStateName(DirState s);
 
 /** Directory metadata for one resident line (Fig. 3 of the paper). */
 struct DirEntry
@@ -80,6 +70,15 @@ class DirectoryController
     DirState stateOf(sim::Addr line) const;
     bool busy(sim::Addr line) const;
     mem::CacheArray &llc() { return llc_; }
+    /**
+     * Mutable directory metadata for @p line, created if absent.
+     * Test support only: lets sys::checkCoherence's negative tests
+     * corrupt a quiesced system's state.
+     */
+    DirEntry &mutableEntryForTest(sim::Addr line)
+    {
+        return entries_[line];
+    }
     /// @}
 
     /// @name Statistics
@@ -118,20 +117,8 @@ class DirectoryController
     /// @}
 
   private:
-    /** Multi-message directory transaction kinds. */
-    enum class TxnType : std::uint8_t
-    {
-        Fetch,      ///< LLC miss: memory read in flight
-        FwdS,       ///< GetS forwarded to owner
-        FwdX,       ///< GetX forwarded to owner
-        InvColl,    ///< collecting InvAcks for a GetX in S
-        RecallEM,   ///< LLC eviction: retrieving the owner's copy
-        RecallS,    ///< LLC eviction: invalidating sharers
-        RecallW,    ///< LLC eviction of a W line (WirInv in flight)
-        ToWireless, ///< S->W: BrWirUpgr census in flight (Table II)
-        WJoin,      ///< W->W: WirUpgr sent, awaiting WirUpgrAck
-        ToShared,   ///< W->S: WirDwgr sent, awaiting WirDwgrAcks
-    };
+    /** Multi-message directory transaction kinds (protocol_table.h). */
+    using TxnType = DirTxnType;
 
     struct DirTxn
     {
@@ -147,6 +134,16 @@ class DirectoryController
         bool censusRequesterLeft = false; ///< requester evicted mid-census
         wireless::JamId jamId = 0;
         bool jamming = false;
+        /**
+         * ToShared only: cancellation token for the WirDwgr broadcast
+         * and whether that frame has left the MAC (delivered back to
+         * us, or withdrawn before committing). The transition must not
+         * complete while the frame is still queued: racing PutWs can
+         * drain the ack count to zero first, and an orphaned chip-wide
+         * downgrade would ambush the line's next wireless epoch.
+         */
+        std::uint64_t frameToken = 0;
+        bool frameResolved = false;
         /**
          * Wired fallback mode (docs/FAULTS.md): the transaction's
          * wireless frame exhausted its fault-retry budget and was
@@ -187,6 +184,7 @@ class DirectoryController
     void admitJoiner(DirTxn &txn, sim::NodeId requester);
     void maybeStartToShared(sim::Addr line);
     void startToShared(sim::Addr line);
+    void maybeFinishToShared(sim::Addr line);
     void finishToShared(sim::Addr line);
 
     // -- wired fallbacks under fault injection (docs/FAULTS.md) --------
@@ -213,7 +211,6 @@ class DirectoryController
     void writebackIfDirty(mem::CacheEntry *e);
 
     // -- tracing (sim/trace.h; no-ops unless the tracer is enabled) ----
-    static const char *txnTypeName(TxnType t);
     void traceState(sim::Addr line, DirState from, DirState to,
                     const char *why, std::uint64_t arg = 0);
 

@@ -14,21 +14,11 @@ namespace {
 bool
 toDirectory(MsgType t)
 {
-    switch (t) {
-      case MsgType::GetS:
-      case MsgType::GetX:
-      case MsgType::PutS:
-      case MsgType::PutE:
-      case MsgType::PutM:
-      case MsgType::PutW:
-      case MsgType::InvAck:
-      case MsgType::OwnerData:
-      case MsgType::WirUpgrAck:
-      case MsgType::WirDwgrAck:
-        return true;
-      default:
-        return false;
-    }
+    // The protocol table's event mapping doubles as the routing
+    // relation: a type maps onto a directory event iff a directory
+    // consumes it.
+    DirEvent ev;
+    return dirEventOf(t, ev);
 }
 
 } // namespace

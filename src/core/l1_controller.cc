@@ -13,43 +13,6 @@ using mem::lineAlign;
 using sim::Addr;
 using sim::Tick;
 
-const char *
-l1StateName(L1State s)
-{
-    switch (s) {
-      case L1State::I: return "I";
-      case L1State::S: return "S";
-      case L1State::E: return "E";
-      case L1State::M: return "M";
-      case L1State::W: return "W";
-    }
-    return "?";
-}
-
-const char *
-msgTypeName(MsgType t)
-{
-    switch (t) {
-      case MsgType::GetS:       return "GetS";
-      case MsgType::GetX:       return "GetX";
-      case MsgType::PutS:       return "PutS";
-      case MsgType::PutE:       return "PutE";
-      case MsgType::PutM:       return "PutM";
-      case MsgType::PutW:       return "PutW";
-      case MsgType::Data:       return "Data";
-      case MsgType::Nack:       return "Nack";
-      case MsgType::Inv:        return "Inv";
-      case MsgType::FwdGetS:    return "FwdGetS";
-      case MsgType::FwdGetX:    return "FwdGetX";
-      case MsgType::WirUpgr:    return "WirUpgr";
-      case MsgType::InvAck:     return "InvAck";
-      case MsgType::OwnerData:  return "OwnerData";
-      case MsgType::WirUpgrAck: return "WirUpgrAck";
-      case MsgType::WirDwgrAck: return "WirDwgrAck";
-    }
-    return "?";
-}
-
 L1Controller::L1Controller(CoherenceFabric &fabric, sim::NodeId node,
                            const CacheConfig &cache_cfg)
     : fabric_(fabric), node_(node),
@@ -146,7 +109,9 @@ L1Controller::read(Addr addr, std::uint64_t token)
     WIDIR_ASSERT(mem::wordAligned(addr), "unaligned load");
     ++stats_.loads;
     CacheEntry *e = array_.lookup(addr);
-    if (e && static_cast<L1State>(e->state) != L1State::I) {
+    L1State st = e ? static_cast<L1State>(e->state) : L1State::I;
+    L1Action act = l1ActionFor(st, L1Event::CpuLoad);
+    if (act == L1Action::Hit) {
         // Hit in S/E/M/W: serve after the L1 round trip. A local access
         // to a W line resets UpdateCount (Table I, W->W on read).
         ++stats_.loadHits;
@@ -158,6 +123,7 @@ L1Controller::read(Addr addr, std::uint64_t token)
             [this, token, value] { complete(token, value); });
         return;
     }
+    WIDIR_ASSERT(act == L1Action::Miss, "bad table action for load");
     PendingOp op;
     op.kind = TxnKind::Read;
     op.token = token;
@@ -196,9 +162,8 @@ L1Controller::write(Addr addr, std::uint64_t value, std::uint64_t token)
         return;
     }
 
-    switch (st) {
-      case L1State::M:
-      case L1State::E:
+    L1Action act = l1ActionFor(st, L1Event::CpuStore);
+    if (act == L1Action::Hit) {
         // Silent E->M upgrade plus local write.
         ++stats_.storeHits;
         if (st == L1State::E)
@@ -210,20 +175,18 @@ L1Controller::write(Addr addr, std::uint64_t value, std::uint64_t token)
         fabric_.simulator().scheduleInline(
             fabric_.config().l1HitLatency,
             [this, token, value] { complete(token, value); });
-        return;
-      case L1State::W:
+    } else if (act == L1Action::Wireless) {
         // Table I, W->W on write: broadcast the word via the WNoC; the
         // local copy merges only once transmission is guaranteed.
         ++stats_.storeHits;
         issueWirelessWrite(op);
-        return;
-      case L1State::S:
+    } else if (act == L1Action::Upgrade) {
         // Upgrade: GetX indicating we already share the line.
         startMiss(op, lineAlign(addr), true);
-        return;
-      case L1State::I:
+    } else {
+        WIDIR_ASSERT(act == L1Action::Miss,
+                     "bad table action for store");
         startMiss(op, lineAlign(addr), false);
-        return;
     }
 }
 
@@ -257,9 +220,8 @@ L1Controller::rmw(Addr addr,
         return;
     }
 
-    switch (st) {
-      case L1State::M:
-      case L1State::E: {
+    L1Action act = l1ActionFor(st, L1Event::CpuRmw);
+    if (act == L1Action::Hit) {
         // Ownership makes the local update atomic.
         std::uint64_t old = e->data.word(addr);
         if (st == L1State::E)
@@ -271,9 +233,7 @@ L1Controller::rmw(Addr addr,
         fabric_.simulator().scheduleInline(
             fabric_.config().l1HitLatency,
             [this, token, old] { complete(token, old); });
-        return;
-      }
-      case L1State::W: {
+    } else if (act == L1Action::Wireless) {
         // A no-op RMW (e.g. a failed compare-and-swap: the modify
         // function returns the value unchanged) performs no store, so
         // nothing needs to broadcast; it linearizes at its local read
@@ -291,14 +251,11 @@ L1Controller::rmw(Addr addr,
         // any intervening update/invalidate retries the whole RMW.
         e->locked = true;
         issueWirelessWrite(op);
-        return;
-      }
-      case L1State::S:
+    } else if (act == L1Action::Upgrade) {
         startMiss(op, lineAlign(addr), true);
-        return;
-      case L1State::I:
+    } else {
+        WIDIR_ASSERT(act == L1Action::Miss, "bad table action for RMW");
         startMiss(op, lineAlign(addr), false);
-        return;
     }
 }
 
@@ -367,8 +324,6 @@ L1Controller::retryAfterNack(Addr line)
     if (it == txns_.end())
         return;
     Txn &txn = it->second;
-    if (txn.superseded)
-        return;
     ++txn.retries;
     const auto &cfg = fabric_.config();
     // Exponential backoff: long directory transactions (joins,
@@ -380,7 +335,7 @@ L1Controller::retryAfterNack(Addr line)
                             scale);
     fabric_.simulator().scheduleInline(delay, [this, line] {
         auto it2 = txns_.find(line);
-        if (it2 != txns_.end() && !it2->second.superseded)
+        if (it2 != txns_.end())
             sendRequest(it2->second);
     });
 }
@@ -427,11 +382,6 @@ L1Controller::completeOps(std::vector<PendingOp> ops)
 // Fills and evictions
 // ---------------------------------------------------------------------
 
-void
-L1Controller::applyFill(const Msg &msg)
-{
-    applyFillAs(msg, false);
-}
 
 mem::CacheEntry *
 L1Controller::makeRoom(Addr line)
@@ -483,18 +433,21 @@ L1Controller::evict(CacheEntry *victim)
 }
 
 void
-L1Controller::applyFillAs(const Msg &msg, bool force_w)
+L1Controller::applyFillAs(const Msg &msg, bool force_w,
+                          std::function<void()> done)
 {
     CacheEntry *frame = makeRoom(msg.line);
     if (!frame) {
         // Every way is pinned (rare: RMW-pinned plus concurrent fill in
-        // a 2-way set). Retry the fill shortly. The ~100-byte Msg
-        // capture takes the event queue's heap-fallback path; this is
-        // the cold exception, not the hot fill path.
+        // a 2-way set). Retry the fill shortly, carrying the completion
+        // along. The ~100-byte Msg capture takes the event queue's
+        // heap-fallback path; this is the cold exception, not the hot
+        // fill path.
         Msg copy = msg;
-        fabric_.simulator().schedule(4, [this, copy, force_w] {
-            applyFillAs(copy, force_w);
-        });
+        fabric_.simulator().schedule(
+            4, [this, copy, force_w, done = std::move(done)]() mutable {
+                applyFillAs(copy, force_w, std::move(done));
+            });
         return;
     }
     L1State st = L1State::S;
@@ -519,42 +472,55 @@ L1Controller::applyFillAs(const Msg &msg, bool force_w)
         frame->dirty = true;
     if (old != st)
         traceState(msg.line, old, st, "fill");
+    if (done)
+        done();
 }
 
 void
 L1Controller::finishFill(const Msg &msg)
 {
     auto it = txns_.find(msg.line);
-    if (it == txns_.end() || it->second.superseded) {
-        // Response for a transaction that BrWirUpgr already satisfied:
-        // drop it (the directory also discards the stale request side).
+    if (it == txns_.end()) {
+        // Response for a transaction that BrWirUpgr already satisfied
+        // and erased: drop it (the directory also discards the stale
+        // request side).
         return;
     }
     Txn txn = std::move(it->second);
     txns_.erase(it);
     traceMshr(sim::TraceKind::MshrRetire, msg.line,
               msgTypeName(txn.request), "fill");
-    if (txn.fillAsW && msg.type == MsgType::Data) {
+    bool fill_as_w = txn.fillAsW && msg.type == MsgType::Data;
+    if (fill_as_w) {
         // The line arrived while we held the census tone: the census
         // counted us, so the copy enters W (case iii of III-B1). Only
         // an S grant can be in flight across an S->W transition.
         WIDIR_ASSERT(msg.grant == GrantState::S,
                      "non-S grant crossed a BrWirUpgr census");
-        applyFillAs(msg, true);
-    } else {
-        applyFill(msg);
     }
-    dropToneIfHeld(txn);
-    if (msg.type == MsgType::WirUpgr && msg.needsAck) {
-        // Table I, I->W when the directory is already in W: ack the
-        // join so the directory can bump SharerCount (Table II, W->W).
-        Msg ack;
-        ack.type = MsgType::WirUpgrAck;
-        ack.dst = msg.src;
-        ack.line = msg.line;
-        send(ack);
-    }
-    completeOps(std::move(txn.ops));
+    // The tone, the join ack and the queued ops wait for the fill to
+    // actually land (it can be postponed behind a fully pinned set):
+    // draining the ops against a still-Invalid line would re-request a
+    // grant the directory has already accounted for.
+    bool join_ack = msg.type == MsgType::WirUpgr && msg.needsAck;
+    NodeId ack_dst = msg.src;
+    Addr ack_line = msg.line;
+    applyFillAs(msg, fill_as_w,
+                [this, join_ack, ack_dst, ack_line,
+                 txn = std::move(txn)]() mutable {
+        dropToneIfHeld(txn);
+        if (join_ack) {
+            // Table I, I->W when the directory is already in W: ack
+            // the join so the directory can bump SharerCount (Table
+            // II, W->W).
+            Msg ack;
+            ack.type = MsgType::WirUpgrAck;
+            ack.dst = ack_dst;
+            ack.line = ack_line;
+            send(ack);
+        }
+        completeOps(std::move(txn.ops));
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -752,39 +718,26 @@ L1Controller::squashWireless(Addr line, bool retry_wired)
 void
 L1Controller::receive(const Msg &msg)
 {
-    switch (msg.type) {
-      case MsgType::Data:
-        handleData(msg);
-        break;
-      case MsgType::Nack:
-        handleNack(msg);
-        break;
-      case MsgType::Inv:
-        handleInv(msg);
-        break;
-      case MsgType::FwdGetS:
-      case MsgType::FwdGetX:
-        handleFwd(msg);
-        break;
-      case MsgType::WirUpgr:
-        handleWirUpgr(msg);
-        break;
-      default:
+    L1Event ev;
+    if (!l1EventOf(msg.type, ev))
         sim::panic("L1 %u received unexpected %s", node_,
                    msgTypeName(msg.type));
+    // Select the action from the protocol table. The action is the
+    // same in every state for these events (the handlers resolve the
+    // per-state outcomes internally), so this lookup is structurally
+    // equivalent to the old switch on the message type.
+    L1Action act = l1ActionFor(stateOf(msg.line), ev);
+    if (act == L1Action::FinishFill) {
+        finishFill(msg);
+    } else if (act == L1Action::NackRetry) {
+        handleNack(msg);
+    } else if (act == L1Action::Invalidate) {
+        handleInv(msg);
+    } else {
+        WIDIR_ASSERT(act == L1Action::SupplyOwner,
+                     "bad table action for %s", msgTypeName(msg.type));
+        handleFwd(msg);
     }
-}
-
-void
-L1Controller::handleData(const Msg &msg)
-{
-    finishFill(msg);
-}
-
-void
-L1Controller::handleWirUpgr(const Msg &msg)
-{
-    finishFill(msg);
 }
 
 void
@@ -794,16 +747,6 @@ L1Controller::handleNack(const Msg &msg)
     auto it = txns_.find(msg.line);
     if (it == txns_.end())
         return;
-    if (it->second.superseded) {
-        // The bounced request was already satisfied wirelessly.
-        Txn txn = std::move(it->second);
-        txns_.erase(it);
-        traceMshr(sim::TraceKind::MshrRetire, msg.line,
-                  msgTypeName(txn.request), "superseded");
-        dropToneIfHeld(txn);
-        completeOps(std::move(txn.ops));
-        return;
-    }
     // A bounced response also releases a census tone held for this
     // request (Section III-B1, completion case iii). The census is
     // over for us: a fill delivered to the retried request is a fresh
@@ -885,19 +828,20 @@ L1Controller::handleFwd(const Msg &msg)
 void
 L1Controller::receiveFrame(const wireless::Frame &frame)
 {
-    switch (frame.kind) {
-      case wireless::FrameKind::WirUpd:
+    // As in receive(): the table action is uniform across states for
+    // each frame kind; the handlers keep the per-state behavior.
+    L1Action act =
+        l1ActionFor(stateOf(frame.lineAddr), l1EventOf(frame.kind));
+    if (act == L1Action::ApplyUpdate) {
         handleWirUpd(frame);
-        break;
-      case wireless::FrameKind::BrWirUpgr:
+    } else if (act == L1Action::CensusJoin) {
         handleBrWirUpgr(frame);
-        break;
-      case wireless::FrameKind::WirDwgr:
+    } else if (act == L1Action::Downgrade) {
         handleWirDwgr(frame);
-        break;
-      case wireless::FrameKind::WirInv:
+    } else {
+        WIDIR_ASSERT(act == L1Action::WirelessInvalidate,
+                     "bad table action for frame");
         handleWirInv(frame);
-        break;
     }
 }
 

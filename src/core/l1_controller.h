@@ -23,24 +23,13 @@
 
 #include "core/fabric.h"
 #include "core/messages.h"
+#include "core/protocol_table.h"
 #include "mem/cache_array.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "wireless/frame.h"
 
 namespace widir::coherence {
-
-/** L1 line states (stored in mem::CacheEntry::state). */
-enum class L1State : std::uint8_t
-{
-    I = 0,
-    S,
-    E,
-    M,
-    W, ///< WiDir Wireless Shared
-};
-
-const char *l1StateName(L1State s);
 
 /** Private L1 data cache + coherence controller for one tile. */
 class L1Controller
@@ -143,7 +132,6 @@ class L1Controller
         sim::Addr line;
         MsgType request;          ///< GetS or GetX
         bool isSharerUpgrade = false;
-        bool superseded = false;  ///< satisfied via BrWirUpgr instead
         bool toneHeld = false;    ///< census waits on this txn
         /**
          * A BrWirUpgr census caught this request in flight: a line
@@ -185,17 +173,23 @@ class L1Controller
     // -- fills, hits, evictions ----------------------------------------
     void completeOps(std::vector<PendingOp> ops);
     void finishFill(const Msg &msg);
-    void applyFill(const Msg &msg);
-    void applyFillAs(const Msg &msg, bool force_w);
+    /**
+     * Install the granted line, retrying while every way in the set is
+     * pinned. @p done runs once the fill has actually landed -- the
+     * transaction's queued ops (and its tone/ack bookkeeping) must not
+     * drain earlier, or they would re-issue a request for a line whose
+     * grant the directory has already accounted (double-counting the
+     * node in a census, for instance).
+     */
+    void applyFillAs(const Msg &msg, bool force_w,
+                     std::function<void()> done = {});
     mem::CacheEntry *makeRoom(sim::Addr line);
     void evict(mem::CacheEntry *victim);
 
     // -- incoming wired handlers ---------------------------------------
-    void handleData(const Msg &msg);
     void handleNack(const Msg &msg);
     void handleInv(const Msg &msg);
     void handleFwd(const Msg &msg);
-    void handleWirUpgr(const Msg &msg);
 
     // -- tracing (sim/trace.h; no-ops unless the tracer is enabled) ----
     void traceState(sim::Addr line, L1State from, L1State to,

@@ -141,9 +141,21 @@ carriesLine(MsgType t)
       case MsgType::OwnerData:
       case MsgType::WirUpgr:
         return true;
-      default:
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::PutS:
+      case MsgType::PutE:
+      case MsgType::PutW:
+      case MsgType::Nack:
+      case MsgType::Inv:
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetX:
+      case MsgType::InvAck:
+      case MsgType::WirUpgrAck:
+      case MsgType::WirDwgrAck:
         return false;
     }
+    return false;
 }
 
 } // namespace widir::coherence

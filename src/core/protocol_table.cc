@@ -1,0 +1,812 @@
+#include "core/protocol_table.h"
+
+#include <array>
+
+#include "sim/log.h"
+
+namespace widir::coherence {
+
+// ---------------------------------------------------------------------
+// Enum -> string helpers
+// ---------------------------------------------------------------------
+
+const char *
+l1StateName(L1State s)
+{
+    switch (s) {
+      case L1State::I: return "I";
+      case L1State::S: return "S";
+      case L1State::E: return "E";
+      case L1State::M: return "M";
+      case L1State::W: return "W";
+    }
+    return "?";
+}
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::I:  return "I";
+      case DirState::S:  return "S";
+      case DirState::EM: return "EM";
+      case DirState::W:  return "W";
+    }
+    return "?";
+}
+
+const char *
+dirTxnTypeName(DirTxnType t)
+{
+    switch (t) {
+      case DirTxnType::Fetch:      return "Fetch";
+      case DirTxnType::FwdS:       return "FwdS";
+      case DirTxnType::FwdX:       return "FwdX";
+      case DirTxnType::InvColl:    return "InvColl";
+      case DirTxnType::RecallEM:   return "RecallEM";
+      case DirTxnType::RecallS:    return "RecallS";
+      case DirTxnType::RecallW:    return "RecallW";
+      case DirTxnType::ToWireless: return "ToWireless";
+      case DirTxnType::WJoin:      return "WJoin";
+      case DirTxnType::ToShared:   return "ToShared";
+    }
+    return "?";
+}
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:       return "GetS";
+      case MsgType::GetX:       return "GetX";
+      case MsgType::PutS:       return "PutS";
+      case MsgType::PutE:       return "PutE";
+      case MsgType::PutM:       return "PutM";
+      case MsgType::PutW:       return "PutW";
+      case MsgType::Data:       return "Data";
+      case MsgType::Nack:       return "Nack";
+      case MsgType::Inv:        return "Inv";
+      case MsgType::FwdGetS:    return "FwdGetS";
+      case MsgType::FwdGetX:    return "FwdGetX";
+      case MsgType::WirUpgr:    return "WirUpgr";
+      case MsgType::InvAck:     return "InvAck";
+      case MsgType::OwnerData:  return "OwnerData";
+      case MsgType::WirUpgrAck: return "WirUpgrAck";
+      case MsgType::WirDwgrAck: return "WirDwgrAck";
+    }
+    return "?";
+}
+
+const char *
+grantStateName(GrantState s)
+{
+    switch (s) {
+      case GrantState::S: return "S";
+      case GrantState::E: return "E";
+      case GrantState::M: return "M";
+    }
+    return "?";
+}
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::BaselineMESI: return "baseline";
+      case Protocol::WiDir:        return "widir";
+    }
+    return "?";
+}
+
+const char *
+l1EventName(L1Event e)
+{
+    switch (e) {
+      case L1Event::CpuLoad:        return "CpuLoad";
+      case L1Event::CpuStore:       return "CpuStore";
+      case L1Event::CpuRmw:         return "CpuRmw";
+      case L1Event::Evict:          return "Evict";
+      case L1Event::MsgData:        return "MsgData";
+      case L1Event::MsgNack:        return "MsgNack";
+      case L1Event::MsgInv:         return "MsgInv";
+      case L1Event::MsgFwdGetS:     return "MsgFwdGetS";
+      case L1Event::MsgFwdGetX:     return "MsgFwdGetX";
+      case L1Event::MsgWirUpgr:     return "MsgWirUpgr";
+      case L1Event::FrameWirUpd:    return "FrameWirUpd";
+      case L1Event::FrameBrWirUpgr: return "FrameBrWirUpgr";
+      case L1Event::FrameWirDwgr:   return "FrameWirDwgr";
+      case L1Event::FrameWirInv:    return "FrameWirInv";
+      case L1Event::ChannelFault:   return "ChannelFault";
+    }
+    return "?";
+}
+
+const char *
+dirEventName(DirEvent e)
+{
+    switch (e) {
+      case DirEvent::MsgGetS:       return "MsgGetS";
+      case DirEvent::MsgGetX:       return "MsgGetX";
+      case DirEvent::MsgPutS:       return "MsgPutS";
+      case DirEvent::MsgPutE:       return "MsgPutE";
+      case DirEvent::MsgPutM:       return "MsgPutM";
+      case DirEvent::MsgPutW:       return "MsgPutW";
+      case DirEvent::MsgInvAck:     return "MsgInvAck";
+      case DirEvent::MsgOwnerData:  return "MsgOwnerData";
+      case DirEvent::MsgWirUpgrAck: return "MsgWirUpgrAck";
+      case DirEvent::MsgWirDwgrAck: return "MsgWirDwgrAck";
+      case DirEvent::FrameWirUpd:   return "FrameWirUpd";
+      case DirEvent::FrameWirInv:   return "FrameWirInv";
+      case DirEvent::LlcEvict:      return "LlcEvict";
+      case DirEvent::CensusDone:    return "CensusDone";
+      case DirEvent::ChannelFault:  return "ChannelFault";
+    }
+    return "?";
+}
+
+const char *
+l1ActionName(L1Action a)
+{
+    switch (a) {
+      case L1Action::Hit:                return "Hit";
+      case L1Action::Miss:               return "Miss";
+      case L1Action::Upgrade:            return "Upgrade";
+      case L1Action::Wireless:           return "Wireless";
+      case L1Action::EvictNotify:        return "EvictNotify";
+      case L1Action::FinishFill:         return "FinishFill";
+      case L1Action::NackRetry:          return "NackRetry";
+      case L1Action::Invalidate:         return "Invalidate";
+      case L1Action::SupplyOwner:        return "SupplyOwner";
+      case L1Action::ApplyUpdate:        return "ApplyUpdate";
+      case L1Action::CensusJoin:         return "CensusJoin";
+      case L1Action::Downgrade:          return "Downgrade";
+      case L1Action::WirelessInvalidate: return "WirelessInvalidate";
+      case L1Action::WirelessWriteFault: return "WirelessWriteFault";
+    }
+    return "?";
+}
+
+const char *
+dirActionName(DirAction a)
+{
+    switch (a) {
+      case DirAction::Request:             return "Request";
+      case DirAction::SharedEvictNotice:   return "SharedEvictNotice";
+      case DirAction::OwnerEvictNotice:    return "OwnerEvictNotice";
+      case DirAction::WirelessEvictNotice: return "WirelessEvictNotice";
+      case DirAction::CollectInvAck:       return "CollectInvAck";
+      case DirAction::OwnerReturn:         return "OwnerReturn";
+      case DirAction::CollectJoinAck:      return "CollectJoinAck";
+      case DirAction::CollectDwgrAck:      return "CollectDwgrAck";
+      case DirAction::ObserveUpdate:       return "ObserveUpdate";
+      case DirAction::ObserveWirInv:       return "ObserveWirInv";
+      case DirAction::Recall:              return "Recall";
+      case DirAction::CensusFinish:        return "CensusFinish";
+      case DirAction::WirelessFault:       return "WirelessFault";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// Wire input -> event mapping
+// ---------------------------------------------------------------------
+
+bool
+l1EventOf(MsgType t, L1Event &ev)
+{
+    switch (t) {
+      case MsgType::Data:    ev = L1Event::MsgData; return true;
+      case MsgType::Nack:    ev = L1Event::MsgNack; return true;
+      case MsgType::Inv:     ev = L1Event::MsgInv; return true;
+      case MsgType::FwdGetS: ev = L1Event::MsgFwdGetS; return true;
+      case MsgType::FwdGetX: ev = L1Event::MsgFwdGetX; return true;
+      case MsgType::WirUpgr: ev = L1Event::MsgWirUpgr; return true;
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::PutS:
+      case MsgType::PutE:
+      case MsgType::PutM:
+      case MsgType::PutW:
+      case MsgType::InvAck:
+      case MsgType::OwnerData:
+      case MsgType::WirUpgrAck:
+      case MsgType::WirDwgrAck:
+        return false;
+    }
+    return false;
+}
+
+bool
+dirEventOf(MsgType t, DirEvent &ev)
+{
+    switch (t) {
+      case MsgType::GetS:       ev = DirEvent::MsgGetS; return true;
+      case MsgType::GetX:       ev = DirEvent::MsgGetX; return true;
+      case MsgType::PutS:       ev = DirEvent::MsgPutS; return true;
+      case MsgType::PutE:       ev = DirEvent::MsgPutE; return true;
+      case MsgType::PutM:       ev = DirEvent::MsgPutM; return true;
+      case MsgType::PutW:       ev = DirEvent::MsgPutW; return true;
+      case MsgType::InvAck:     ev = DirEvent::MsgInvAck; return true;
+      case MsgType::OwnerData:  ev = DirEvent::MsgOwnerData; return true;
+      case MsgType::WirUpgrAck: ev = DirEvent::MsgWirUpgrAck; return true;
+      case MsgType::WirDwgrAck: ev = DirEvent::MsgWirDwgrAck; return true;
+      case MsgType::Data:
+      case MsgType::Nack:
+      case MsgType::Inv:
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetX:
+      case MsgType::WirUpgr:
+        return false;
+    }
+    return false;
+}
+
+L1Event
+l1EventOf(wireless::FrameKind k)
+{
+    switch (k) {
+      case wireless::FrameKind::WirUpd:    return L1Event::FrameWirUpd;
+      case wireless::FrameKind::BrWirUpgr: return L1Event::FrameBrWirUpgr;
+      case wireless::FrameKind::WirDwgr:   return L1Event::FrameWirDwgr;
+      case wireless::FrameKind::WirInv:    return L1Event::FrameWirInv;
+    }
+    sim::panic("unknown frame kind %d", static_cast<int>(k));
+}
+
+// ---------------------------------------------------------------------
+// Rules: Table I (L1 side)
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr L1State L1_I = L1State::I;
+constexpr L1State L1_S = L1State::S;
+constexpr L1State L1_E = L1State::E;
+constexpr L1State L1_M = L1State::M;
+constexpr L1State L1_W = L1State::W;
+
+// Every (state, event) cell appears at least once; rows for one cell
+// agree on the action (validated at startup) and enumerate the cell's
+// possible outcome states. A null note means "no traced transition".
+constexpr L1Rule kL1Rules[] = {
+    // CPU load: hit everywhere but I (a W hit resets UpdateCount).
+    {L1_I, L1Event::CpuLoad, L1Action::Miss, L1_I, nullptr, kRuleNone},
+    {L1_S, L1Event::CpuLoad, L1Action::Hit, L1_S, nullptr, kRuleNone},
+    {L1_E, L1Event::CpuLoad, L1Action::Hit, L1_E, nullptr, kRuleNone},
+    {L1_M, L1Event::CpuLoad, L1Action::Hit, L1_M, nullptr, kRuleNone},
+    {L1_W, L1Event::CpuLoad, L1Action::Hit, L1_W, nullptr, kRuleNone},
+
+    // CPU store: silent E->M upgrade, wireless broadcast from W,
+    // sharer upgrade from S, plain miss from I.
+    {L1_I, L1Event::CpuStore, L1Action::Miss, L1_I, nullptr, kRuleNone},
+    {L1_S, L1Event::CpuStore, L1Action::Upgrade, L1_S, nullptr,
+     kRuleNone},
+    {L1_E, L1Event::CpuStore, L1Action::Hit, L1_M, "store", kRuleNone},
+    {L1_M, L1Event::CpuStore, L1Action::Hit, L1_M, nullptr, kRuleNone},
+    {L1_W, L1Event::CpuStore, L1Action::Wireless, L1_W, nullptr,
+     kRuleNone},
+
+    // CPU RMW: like a store (a no-op RMW in W linearizes as a load).
+    {L1_I, L1Event::CpuRmw, L1Action::Miss, L1_I, nullptr, kRuleNone},
+    {L1_S, L1Event::CpuRmw, L1Action::Upgrade, L1_S, nullptr,
+     kRuleNone},
+    {L1_E, L1Event::CpuRmw, L1Action::Hit, L1_M, "rmw", kRuleNone},
+    {L1_M, L1Event::CpuRmw, L1Action::Hit, L1_M, nullptr, kRuleNone},
+    {L1_W, L1Event::CpuRmw, L1Action::Wireless, L1_W, nullptr,
+     kRuleNone},
+
+    // Capacity eviction: PutS/PutE/PutM/PutW to the home.
+    {L1_I, L1Event::Evict, L1Action::EvictNotify, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::Evict, L1Action::EvictNotify, L1_I, "evict",
+     kRuleNone},
+    {L1_E, L1Event::Evict, L1Action::EvictNotify, L1_I, "evict",
+     kRuleNone},
+    {L1_M, L1Event::Evict, L1Action::EvictNotify, L1_I, "evict",
+     kRuleNone},
+    {L1_W, L1Event::Evict, L1Action::EvictNotify, L1_I, "evict",
+     kRuleNone},
+
+    // Data grant: fills the outstanding miss (I->granted state, or
+    // S->M on an upgrade; I->W when a census counted the requester,
+    // Section III-B1 case iii). In E/M/W the response is stale (the
+    // transaction was already resolved another way) and is dropped.
+    {L1_I, L1Event::MsgData, L1Action::FinishFill, L1_S, "fill",
+     kRuleNone},
+    {L1_I, L1Event::MsgData, L1Action::FinishFill, L1_E, "fill",
+     kRuleNone},
+    {L1_I, L1Event::MsgData, L1Action::FinishFill, L1_M, "fill",
+     kRuleNone},
+    {L1_I, L1Event::MsgData, L1Action::FinishFill, L1_W, "fill",
+     kRuleNone},
+    {L1_S, L1Event::MsgData, L1Action::FinishFill, L1_M, "fill",
+     kRuleNone},
+    {L1_E, L1Event::MsgData, L1Action::FinishFill, L1_E, nullptr,
+     kRuleNone},
+    {L1_M, L1Event::MsgData, L1Action::FinishFill, L1_M, nullptr,
+     kRuleNone},
+    {L1_W, L1Event::MsgData, L1Action::FinishFill, L1_W, nullptr,
+     kRuleNone},
+
+    // WirUpgr: wired leg of a W join; fills the miss in W.
+    {L1_I, L1Event::MsgWirUpgr, L1Action::FinishFill, L1_W, "fill",
+     kRuleNone},
+    {L1_S, L1Event::MsgWirUpgr, L1Action::FinishFill, L1_S, nullptr,
+     kRuleNone},
+    {L1_E, L1Event::MsgWirUpgr, L1Action::FinishFill, L1_E, nullptr,
+     kRuleNone},
+    {L1_M, L1Event::MsgWirUpgr, L1Action::FinishFill, L1_M, nullptr,
+     kRuleNone},
+    {L1_W, L1Event::MsgWirUpgr, L1Action::FinishFill, L1_W, nullptr,
+     kRuleNone},
+
+    // Nack: back off and retry the outstanding request (releases a
+    // held census tone). No state change in any state.
+    {L1_I, L1Event::MsgNack, L1Action::NackRetry, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::MsgNack, L1Action::NackRetry, L1_S, nullptr,
+     kRuleNone},
+    {L1_E, L1Event::MsgNack, L1Action::NackRetry, L1_E, nullptr,
+     kRuleNone},
+    {L1_M, L1Event::MsgNack, L1Action::NackRetry, L1_M, nullptr,
+     kRuleNone},
+    {L1_W, L1Event::MsgNack, L1Action::NackRetry, L1_W, nullptr,
+     kRuleNone},
+
+    // Inv: ack (with data on an owner recall) and drop the copy; a
+    // miss still acks (broadcast recalls target every node). An Inv
+    // reaching a W copy only happens via the wired fault fallback.
+    {L1_I, L1Event::MsgInv, L1Action::Invalidate, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::MsgInv, L1Action::Invalidate, L1_I, "Inv",
+     kRuleNone},
+    {L1_E, L1Event::MsgInv, L1Action::Invalidate, L1_I, "Inv",
+     kRuleNone},
+    {L1_M, L1Event::MsgInv, L1Action::Invalidate, L1_I, "Inv",
+     kRuleNone},
+    {L1_W, L1Event::MsgInv, L1Action::Invalidate, L1_I, "Inv",
+     kRuleFaultOnly},
+
+    // FwdGetS: the owner supplies data and downgrades. Only an owner
+    // (or a node that already evicted, dropping the forward) can see
+    // one; S/W would be a protocol bug (the handler asserts).
+    {L1_I, L1Event::MsgFwdGetS, L1Action::SupplyOwner, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::MsgFwdGetS, L1Action::SupplyOwner, L1_S, nullptr,
+     kRuleUnreachable},
+    {L1_E, L1Event::MsgFwdGetS, L1Action::SupplyOwner, L1_S, "FwdGetS",
+     kRuleNone},
+    {L1_M, L1Event::MsgFwdGetS, L1Action::SupplyOwner, L1_S, "FwdGetS",
+     kRuleNone},
+    {L1_W, L1Event::MsgFwdGetS, L1Action::SupplyOwner, L1_W, nullptr,
+     kRuleUnreachable},
+
+    // FwdGetX: the owner supplies data and invalidates.
+    {L1_I, L1Event::MsgFwdGetX, L1Action::SupplyOwner, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::MsgFwdGetX, L1Action::SupplyOwner, L1_S, nullptr,
+     kRuleUnreachable},
+    {L1_E, L1Event::MsgFwdGetX, L1Action::SupplyOwner, L1_I, "FwdGetX",
+     kRuleNone},
+    {L1_M, L1Event::MsgFwdGetX, L1Action::SupplyOwner, L1_I, "FwdGetX",
+     kRuleNone},
+    {L1_W, L1Event::MsgFwdGetX, L1Action::SupplyOwner, L1_W, nullptr,
+     kRuleUnreachable},
+
+    // Foreign WirUpd: W sharers apply the word (and may self-
+    // invalidate once UpdateCount trips); everyone else ignores it.
+    {L1_I, L1Event::FrameWirUpd, L1Action::ApplyUpdate, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::FrameWirUpd, L1Action::ApplyUpdate, L1_S, nullptr,
+     kRuleNone},
+    {L1_E, L1Event::FrameWirUpd, L1Action::ApplyUpdate, L1_E, nullptr,
+     kRuleNone},
+    {L1_M, L1Event::FrameWirUpd, L1Action::ApplyUpdate, L1_M, nullptr,
+     kRuleNone},
+    {L1_W, L1Event::FrameWirUpd, L1Action::ApplyUpdate, L1_W, nullptr,
+     kRuleNone},
+    {L1_W, L1Event::FrameWirUpd, L1Action::ApplyUpdate, L1_I,
+     "UpdateCount", kRuleNone},
+
+    // BrWirUpgr census: every node raises the tone; current sharers
+    // adopt W (case 1/2), nodes with a request in flight hold the
+    // tone (case iii), everyone else drops it immediately (case i).
+    {L1_I, L1Event::FrameBrWirUpgr, L1Action::CensusJoin, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::FrameBrWirUpgr, L1Action::CensusJoin, L1_W,
+     "BrWirUpgr", kRuleNone},
+    {L1_E, L1Event::FrameBrWirUpgr, L1Action::CensusJoin, L1_E, nullptr,
+     kRuleNone},
+    {L1_M, L1Event::FrameBrWirUpgr, L1Action::CensusJoin, L1_M, nullptr,
+     kRuleNone},
+    {L1_W, L1Event::FrameBrWirUpgr, L1Action::CensusJoin, L1_W, nullptr,
+     kRuleNone},
+
+    // WirDwgr: W sharers ack with their id and downgrade.
+    {L1_I, L1Event::FrameWirDwgr, L1Action::Downgrade, L1_I, nullptr,
+     kRuleNone},
+    {L1_S, L1Event::FrameWirDwgr, L1Action::Downgrade, L1_S, nullptr,
+     kRuleNone},
+    {L1_E, L1Event::FrameWirDwgr, L1Action::Downgrade, L1_E, nullptr,
+     kRuleNone},
+    {L1_M, L1Event::FrameWirDwgr, L1Action::Downgrade, L1_M, nullptr,
+     kRuleNone},
+    {L1_W, L1Event::FrameWirDwgr, L1Action::Downgrade, L1_S, "WirDwgr",
+     kRuleNone},
+
+    // WirInv: W sharers invalidate and retry pending writes wired.
+    {L1_I, L1Event::FrameWirInv, L1Action::WirelessInvalidate, L1_I,
+     nullptr, kRuleNone},
+    {L1_S, L1Event::FrameWirInv, L1Action::WirelessInvalidate, L1_S,
+     nullptr, kRuleNone},
+    {L1_E, L1Event::FrameWirInv, L1Action::WirelessInvalidate, L1_E,
+     nullptr, kRuleNone},
+    {L1_M, L1Event::FrameWirInv, L1Action::WirelessInvalidate, L1_M,
+     nullptr, kRuleNone},
+    {L1_W, L1Event::FrameWirInv, L1Action::WirelessInvalidate, L1_I,
+     "WirInv", kRuleNone},
+
+    // Own WirUpd exhausted its fault-retry budget: leave the group
+    // like an UpdateCount expiry and retry the write wired. In any
+    // other state the notification is stale (a racing WirDwgr/WirInv
+    // already squashed the transmission).
+    {L1_I, L1Event::ChannelFault, L1Action::WirelessWriteFault, L1_I,
+     nullptr, kRuleFaultOnly},
+    {L1_S, L1Event::ChannelFault, L1Action::WirelessWriteFault, L1_S,
+     nullptr, kRuleFaultOnly},
+    {L1_E, L1Event::ChannelFault, L1Action::WirelessWriteFault, L1_E,
+     nullptr, kRuleFaultOnly},
+    {L1_M, L1Event::ChannelFault, L1Action::WirelessWriteFault, L1_M,
+     nullptr, kRuleFaultOnly},
+    {L1_W, L1Event::ChannelFault, L1Action::WirelessWriteFault, L1_I,
+     "fault", kRuleFaultOnly},
+};
+
+// ---------------------------------------------------------------------
+// Rules: Table II (directory side)
+// ---------------------------------------------------------------------
+
+constexpr DirState D_I = DirState::I;
+constexpr DirState D_S = DirState::S;
+constexpr DirState D_EM = DirState::EM;
+constexpr DirState D_W = DirState::W;
+
+constexpr DirRule kDirRules[] = {
+    // GetS: first reader gets E (traced with the request name, or
+    // "fetch" on an LLC miss); in S the sharer set grows (or a census
+    // begins); in EM a FwdS transaction opens; in W a join opens.
+    // The S->W / EM->S / W->W transitions are traced when the census,
+    // the owner return, or the join ack completes (see those events).
+    {D_I, DirEvent::MsgGetS, DirAction::Request, D_EM, "GetS",
+     kRuleNone},
+    {D_I, DirEvent::MsgGetS, DirAction::Request, D_EM, "fetch",
+     kRuleNone},
+    {D_S, DirEvent::MsgGetS, DirAction::Request, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::MsgGetS, DirAction::Request, D_EM, nullptr,
+     kRuleNone},
+    {D_W, DirEvent::MsgGetS, DirAction::Request, D_W, nullptr,
+     kRuleNone},
+
+    // GetX: like GetS, plus the immediate sole-sharer upgrade in S.
+    {D_I, DirEvent::MsgGetX, DirAction::Request, D_EM, "GetX",
+     kRuleNone},
+    {D_I, DirEvent::MsgGetX, DirAction::Request, D_EM, "fetch",
+     kRuleNone},
+    {D_S, DirEvent::MsgGetX, DirAction::Request, D_EM, "upgrade",
+     kRuleNone},
+    {D_S, DirEvent::MsgGetX, DirAction::Request, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::MsgGetX, DirAction::Request, D_EM, nullptr,
+     kRuleNone},
+    {D_W, DirEvent::MsgGetX, DirAction::Request, D_W, nullptr,
+     kRuleNone},
+
+    // PutS: drop the sharer pointer; the last sharer empties the
+    // entry. A PutS finding the entry already in W predates the S->W
+    // transition and is accounted like a PutW (delegation below).
+    {D_I, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_I, "PutS",
+     kRuleNone},
+    {D_S, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_EM,
+     nullptr, kRuleNone},
+    {D_W, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_W, "PutW",
+     kRuleNone},
+    {D_W, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_W, nullptr,
+     kRuleNone},
+    {D_W, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_S,
+     "WirDwgr", kRuleNone},
+    {D_W, DirEvent::MsgPutS, DirAction::SharedEvictNotice, D_I,
+     "WirDwgr", kRuleNone},
+
+    // PutE: the owner evicted clean. A PutE racing a Fwd*/RecallEM
+    // completes that transaction in the owner's stead.
+    {D_I, DirEvent::MsgPutE, DirAction::OwnerEvictNotice, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::MsgPutE, DirAction::OwnerEvictNotice, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::MsgPutE, DirAction::OwnerEvictNotice, D_I, "PutE",
+     kRuleNone},
+    {D_EM, DirEvent::MsgPutE, DirAction::OwnerEvictNotice, D_S,
+     "FwdGetS", kRuleNone},
+    {D_EM, DirEvent::MsgPutE, DirAction::OwnerEvictNotice, D_EM,
+     "FwdGetX", kRuleNone},
+    {D_EM, DirEvent::MsgPutE, DirAction::OwnerEvictNotice, D_I,
+     "recall", kRuleNone},
+    {D_W, DirEvent::MsgPutE, DirAction::OwnerEvictNotice, D_W, nullptr,
+     kRuleNone},
+
+    // PutM: like PutE but carries the dirty line.
+    {D_I, DirEvent::MsgPutM, DirAction::OwnerEvictNotice, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::MsgPutM, DirAction::OwnerEvictNotice, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::MsgPutM, DirAction::OwnerEvictNotice, D_I, "PutM",
+     kRuleNone},
+    {D_EM, DirEvent::MsgPutM, DirAction::OwnerEvictNotice, D_S,
+     "FwdGetS", kRuleNone},
+    {D_EM, DirEvent::MsgPutM, DirAction::OwnerEvictNotice, D_EM,
+     "FwdGetX", kRuleNone},
+    {D_EM, DirEvent::MsgPutM, DirAction::OwnerEvictNotice, D_I,
+     "recall", kRuleNone},
+    {D_W, DirEvent::MsgPutM, DirAction::OwnerEvictNotice, D_W, nullptr,
+     kRuleNone},
+
+    // PutW: SharerCount--; the count falling to MaxWiredSharers
+    // triggers W->S, and a group emptied outright collapses W->I
+    // (finishToShared with no survivors). During transactions the
+    // decrement is transaction bookkeeping (no traced transition).
+    {D_I, DirEvent::MsgPutW, DirAction::WirelessEvictNotice, D_I,
+     nullptr, kRuleNone},
+    {D_S, DirEvent::MsgPutW, DirAction::WirelessEvictNotice, D_S,
+     nullptr, kRuleNone},
+    {D_EM, DirEvent::MsgPutW, DirAction::WirelessEvictNotice, D_EM,
+     nullptr, kRuleNone},
+    {D_W, DirEvent::MsgPutW, DirAction::WirelessEvictNotice, D_W,
+     "PutW", kRuleNone},
+    {D_W, DirEvent::MsgPutW, DirAction::WirelessEvictNotice, D_W,
+     nullptr, kRuleNone},
+    {D_W, DirEvent::MsgPutW, DirAction::WirelessEvictNotice, D_S,
+     "WirDwgr", kRuleNone},
+    {D_W, DirEvent::MsgPutW, DirAction::WirelessEvictNotice, D_I,
+     "WirDwgr", kRuleNone},
+
+    // InvAck: completes InvColl (grant M), RecallS/RecallEM, and --
+    // under the wired fault fallback -- ToShared/RecallW.
+    {D_I, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_S, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_EM,
+     "InvColl", kRuleNone},
+    {D_S, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_I, "recall",
+     kRuleNone},
+    {D_EM, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_EM, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_I, "recall",
+     kRuleNone},
+    {D_W, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_W, nullptr,
+     kRuleNone},
+    {D_W, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_I, "WirDwgr",
+     kRuleFaultOnly},
+    {D_W, DirEvent::MsgInvAck, DirAction::CollectInvAck, D_I, "recall",
+     kRuleFaultOnly},
+
+    // OwnerData: completes FwdS (EM->S), FwdX (owner hand-off) or
+    // RecallEM; stale after a racing PutE/PutM completed the txn.
+    {D_I, DirEvent::MsgOwnerData, DirAction::OwnerReturn, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::MsgOwnerData, DirAction::OwnerReturn, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::MsgOwnerData, DirAction::OwnerReturn, D_S,
+     "FwdGetS", kRuleNone},
+    {D_EM, DirEvent::MsgOwnerData, DirAction::OwnerReturn, D_EM,
+     "FwdGetX", kRuleNone},
+    {D_EM, DirEvent::MsgOwnerData, DirAction::OwnerReturn, D_I,
+     "recall", kRuleNone},
+    {D_W, DirEvent::MsgOwnerData, DirAction::OwnerReturn, D_W, nullptr,
+     kRuleNone},
+
+    // WirUpgrAck: a join completed; SharerCount++ (W->W). Any other
+    // state would be a protocol bug (the handler asserts).
+    {D_I, DirEvent::MsgWirUpgrAck, DirAction::CollectJoinAck, D_I,
+     nullptr, kRuleUnreachable},
+    {D_S, DirEvent::MsgWirUpgrAck, DirAction::CollectJoinAck, D_S,
+     nullptr, kRuleUnreachable},
+    {D_EM, DirEvent::MsgWirUpgrAck, DirAction::CollectJoinAck, D_EM,
+     nullptr, kRuleUnreachable},
+    {D_W, DirEvent::MsgWirUpgrAck, DirAction::CollectJoinAck, D_W,
+     "join", kRuleNone},
+
+    // WirDwgrAck: a survivor identified itself; the last expected ack
+    // commits W->S (survivors always exist here -- a group that
+    // drained to zero finishes via the PutW path instead).
+    {D_I, DirEvent::MsgWirDwgrAck, DirAction::CollectDwgrAck, D_I,
+     nullptr, kRuleNone},
+    {D_S, DirEvent::MsgWirDwgrAck, DirAction::CollectDwgrAck, D_S,
+     nullptr, kRuleNone},
+    {D_EM, DirEvent::MsgWirDwgrAck, DirAction::CollectDwgrAck, D_EM,
+     nullptr, kRuleNone},
+    {D_W, DirEvent::MsgWirDwgrAck, DirAction::CollectDwgrAck, D_W,
+     nullptr, kRuleNone},
+    {D_W, DirEvent::MsgWirDwgrAck, DirAction::CollectDwgrAck, D_S,
+     "WirDwgr", kRuleNone},
+
+    // WirUpd observed at the home: write the word through to the LLC
+    // copy (W only; anything else is stale).
+    {D_I, DirEvent::FrameWirUpd, DirAction::ObserveUpdate, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::FrameWirUpd, DirAction::ObserveUpdate, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::FrameWirUpd, DirAction::ObserveUpdate, D_EM,
+     nullptr, kRuleNone},
+    {D_W, DirEvent::FrameWirUpd, DirAction::ObserveUpdate, D_W, nullptr,
+     kRuleNone},
+
+    // Own WirInv delivery: the W recall's broadcast completed.
+    {D_I, DirEvent::FrameWirInv, DirAction::ObserveWirInv, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::FrameWirInv, DirAction::ObserveWirInv, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::FrameWirInv, DirAction::ObserveWirInv, D_EM,
+     nullptr, kRuleNone},
+    {D_W, DirEvent::FrameWirInv, DirAction::ObserveWirInv, D_I,
+     "recall", kRuleNone},
+
+    // LLC eviction: silent replacement in I, a Recall* transaction
+    // otherwise (completion is traced under the ack events above).
+    {D_I, DirEvent::LlcEvict, DirAction::Recall, D_I, nullptr,
+     kRuleNone},
+    {D_S, DirEvent::LlcEvict, DirAction::Recall, D_S, nullptr,
+     kRuleNone},
+    {D_EM, DirEvent::LlcEvict, DirAction::Recall, D_EM, nullptr,
+     kRuleNone},
+    {D_W, DirEvent::LlcEvict, DirAction::Recall, D_W, nullptr,
+     kRuleNone},
+
+    // ToneAck census complete: commit S->W with the counted sharers.
+    {D_I, DirEvent::CensusDone, DirAction::CensusFinish, D_I, nullptr,
+     kRuleUnreachable},
+    {D_S, DirEvent::CensusDone, DirAction::CensusFinish, D_W, "census",
+     kRuleNone},
+    {D_EM, DirEvent::CensusDone, DirAction::CensusFinish, D_EM, nullptr,
+     kRuleUnreachable},
+    {D_W, DirEvent::CensusDone, DirAction::CensusFinish, D_W, nullptr,
+     kRuleUnreachable},
+
+    // A directory frame exhausted its fault-retry budget: an aborted
+    // BrWirUpgr re-dispatches the request wired (which can still
+    // upgrade a sole sharer synchronously); a dropped WirDwgr/WirInv
+    // becomes a wired Inv broadcast completed under MsgInvAck.
+    {D_I, DirEvent::ChannelFault, DirAction::WirelessFault, D_I,
+     nullptr, kRuleFaultOnly | kRuleUnreachable},
+    {D_S, DirEvent::ChannelFault, DirAction::WirelessFault, D_S,
+     nullptr, kRuleFaultOnly},
+    {D_S, DirEvent::ChannelFault, DirAction::WirelessFault, D_EM,
+     "upgrade", kRuleFaultOnly},
+    {D_EM, DirEvent::ChannelFault, DirAction::WirelessFault, D_EM,
+     nullptr, kRuleFaultOnly | kRuleUnreachable},
+    {D_W, DirEvent::ChannelFault, DirAction::WirelessFault, D_W,
+     nullptr, kRuleFaultOnly},
+};
+
+// ---------------------------------------------------------------------
+// Dispatch tables and edge sets, derived once from the rules
+// ---------------------------------------------------------------------
+
+struct DerivedTables
+{
+    std::array<L1Action, kNumL1States * kNumL1Events> l1Dispatch;
+    std::array<DirAction, kNumDirStates * kNumDirEvents> dirDispatch;
+    // edge masks: bit `to` set in [from] when a noted rule traces it
+    std::array<std::uint8_t, kNumL1States> l1Edges;
+    std::array<std::uint8_t, kNumDirStates> dirEdges;
+};
+
+DerivedTables
+buildTables()
+{
+    DerivedTables t{};
+    constexpr auto kNoL1 = static_cast<L1Action>(0xff);
+    constexpr auto kNoDir = static_cast<DirAction>(0xff);
+    t.l1Dispatch.fill(kNoL1);
+    t.dirDispatch.fill(kNoDir);
+    t.l1Edges.fill(0);
+    t.dirEdges.fill(0);
+
+    for (const L1Rule &r : kL1Rules) {
+        std::size_t cell = static_cast<std::size_t>(r.from) *
+                               kNumL1Events +
+                           static_cast<std::size_t>(r.event);
+        WIDIR_ASSERT(t.l1Dispatch[cell] == kNoL1 ||
+                         t.l1Dispatch[cell] == r.action,
+                     "L1 rule rows for (%s, %s) disagree on the action",
+                     l1StateName(r.from), l1EventName(r.event));
+        t.l1Dispatch[cell] = r.action;
+        if (r.note)
+            t.l1Edges[static_cast<std::size_t>(r.from)] |=
+                std::uint8_t{1} << static_cast<std::uint8_t>(r.to);
+    }
+    for (const DirRule &r : kDirRules) {
+        std::size_t cell = static_cast<std::size_t>(r.from) *
+                               kNumDirEvents +
+                           static_cast<std::size_t>(r.event);
+        WIDIR_ASSERT(t.dirDispatch[cell] == kNoDir ||
+                         t.dirDispatch[cell] == r.action,
+                     "dir rule rows for (%s, %s) disagree on the action",
+                     dirStateName(r.from), dirEventName(r.event));
+        t.dirDispatch[cell] = r.action;
+        if (r.note)
+            t.dirEdges[static_cast<std::size_t>(r.from)] |=
+                std::uint8_t{1} << static_cast<std::uint8_t>(r.to);
+    }
+    for (std::size_t i = 0; i < t.l1Dispatch.size(); ++i)
+        WIDIR_ASSERT(t.l1Dispatch[i] != kNoL1,
+                     "L1 cell (%s, %s) has no rule",
+                     l1StateName(static_cast<L1State>(i / kNumL1Events)),
+                     l1EventName(static_cast<L1Event>(i % kNumL1Events)));
+    for (std::size_t i = 0; i < t.dirDispatch.size(); ++i)
+        WIDIR_ASSERT(
+            t.dirDispatch[i] != kNoDir, "dir cell (%s, %s) has no rule",
+            dirStateName(static_cast<DirState>(i / kNumDirEvents)),
+            dirEventName(static_cast<DirEvent>(i % kNumDirEvents)));
+    return t;
+}
+
+const DerivedTables &
+tables()
+{
+    static const DerivedTables t = buildTables();
+    return t;
+}
+
+} // namespace
+
+std::span<const L1Rule>
+l1Rules()
+{
+    return kL1Rules;
+}
+
+std::span<const DirRule>
+dirRules()
+{
+    return kDirRules;
+}
+
+L1Action
+l1ActionFor(L1State s, L1Event e)
+{
+    return tables().l1Dispatch[static_cast<std::size_t>(s) *
+                                   kNumL1Events +
+                               static_cast<std::size_t>(e)];
+}
+
+DirAction
+dirActionFor(DirState s, DirEvent e)
+{
+    return tables().dirDispatch[static_cast<std::size_t>(s) *
+                                    kNumDirEvents +
+                                static_cast<std::size_t>(e)];
+}
+
+bool
+l1EdgeLegal(L1State from, L1State to)
+{
+    return (tables().l1Edges[static_cast<std::size_t>(from)] >>
+            static_cast<std::uint8_t>(to)) &
+           1u;
+}
+
+bool
+dirEdgeLegal(DirState from, DirState to)
+{
+    return (tables().dirEdges[static_cast<std::size_t>(from)] >>
+            static_cast<std::uint8_t>(to)) &
+           1u;
+}
+
+} // namespace widir::coherence

@@ -7,17 +7,14 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/protocol_table.h"
 #include "sim/log.h"
 
 namespace widir::sys {
 
 namespace {
 
-const char *
-protocolName(coherence::Protocol p)
-{
-    return p == coherence::Protocol::WiDir ? "widir" : "baseline";
-}
+using coherence::protocolName;
 
 void
 appendEscaped(std::string &out, const std::string &s)

@@ -48,12 +48,31 @@ eventName(const sim::TraceRecord &r)
       case sim::TraceKind::DirTransition:
         return sim::strfmt("%s->%s", r.fromName ? r.fromName : "?",
                            r.toName ? r.toName : "?");
-      default:
-        if (r.opName)
-            return sim::strfmt("%s %s", sim::traceKindName(r.kind),
-                               r.opName);
-        return sim::traceKindName(r.kind);
+      case sim::TraceKind::MshrAlloc:
+      case sim::TraceKind::MshrRetire:
+      case sim::TraceKind::DirTxnBegin:
+      case sim::TraceKind::DirTxnEnd:
+      case sim::TraceKind::FrameQueued:
+      case sim::TraceKind::FrameWin:
+      case sim::TraceKind::FrameCollision:
+      case sim::TraceKind::FrameJammed:
+      case sim::TraceKind::FrameDelivered:
+      case sim::TraceKind::FrameCancelled:
+      case sim::TraceKind::ToneCensusBegin:
+      case sim::TraceKind::ToneCensusEnd:
+      case sim::TraceKind::NocSend:
+      case sim::TraceKind::Warn:
+      case sim::TraceKind::FrameCrcError:
+      case sim::TraceKind::FramePreambleLoss:
+      case sim::TraceKind::FrameFaultDrop:
+      case sim::TraceKind::ToneRetry:
+      case sim::TraceKind::WirelessFallback:
+        break;
     }
+    if (r.opName)
+        return sim::strfmt("%s %s", sim::traceKindName(r.kind),
+                           r.opName);
+    return sim::traceKindName(r.kind);
 }
 
 } // namespace
@@ -180,47 +199,11 @@ namespace {
 using coherence::DirState;
 using coherence::L1State;
 
-/** Table I edges (stable states; docs/PROTOCOL.md "L1 legality"). */
-bool
-l1Legal(L1State from, L1State to)
-{
-    switch (from) {
-      case L1State::I:
-        return to == L1State::S || to == L1State::E ||
-               to == L1State::M || to == L1State::W;
-      case L1State::S:
-        return to == L1State::M || to == L1State::W ||
-               to == L1State::I;
-      case L1State::E:
-        return to == L1State::M || to == L1State::S ||
-               to == L1State::I;
-      case L1State::M:
-        return to == L1State::S || to == L1State::I;
-      case L1State::W:
-        return to == L1State::S || to == L1State::I;
-    }
-    return false;
-}
-
-/** Table II edges (docs/PROTOCOL.md "directory legality"). */
-bool
-dirLegal(DirState from, DirState to)
-{
-    switch (from) {
-      case DirState::I:
-        return to == DirState::EM;
-      case DirState::S:
-        return to == DirState::EM || to == DirState::W ||
-               to == DirState::I;
-      case DirState::EM:
-        return to == DirState::S || to == DirState::EM ||
-               to == DirState::I;
-      case DirState::W:
-        return to == DirState::W || to == DirState::S ||
-               to == DirState::I;
-    }
-    return false;
-}
+// The legal-edge relation is NOT duplicated here: it is derived from
+// the protocol table (core/protocol_table.h), the same rows that drive
+// controller dispatch and the generated docs/PROTOCOL.md section.
+using coherence::dirEdgeLegal;
+using coherence::l1EdgeLegal;
 
 /** (node, line) continuity key; line numbers fit well below 2^48. */
 std::uint64_t
@@ -254,7 +237,7 @@ checkTraceLegality(const TraceRing &ring, bool strict)
         if (r.kind == sim::TraceKind::L1Transition) {
             auto from = static_cast<L1State>(r.from);
             auto to = static_cast<L1State>(r.to);
-            if (!l1Legal(from, to)) {
+            if (!l1EdgeLegal(from, to)) {
                 flag(sim::strfmt(
                     "illegal L1 transition %s->%s (node %u line "
                     "%#" PRIx64 " tick %" PRIu64 " note %s)",
@@ -309,7 +292,7 @@ checkTraceLegality(const TraceRing &ring, bool strict)
         } else if (r.kind == sim::TraceKind::DirTransition) {
             auto from = static_cast<DirState>(r.from);
             auto to = static_cast<DirState>(r.to);
-            if (!dirLegal(from, to)) {
+            if (!dirEdgeLegal(from, to)) {
                 flag(sim::strfmt(
                     "illegal directory transition %s->%s (home %u "
                     "line %#" PRIx64 " tick %" PRIu64 " note %s)",

@@ -1,0 +1,793 @@
+/**
+ * @file
+ * Model-checking-style state explorer for the protocol table
+ * (core/protocol_table.h). Small machines (4 nodes, optionally tiny
+ * caches) are driven through directed scenarios, exhaustive
+ * small-depth interleavings, and seeded random walks, while a tracer
+ * sink accumulates every observed `L1Transition` / `DirTransition`
+ * edge keyed by (side, from, to, note). The explorer then checks the
+ * table in both directions:
+ *
+ *  - soundness: every observed edge is a noted rule row (nothing the
+ *    controllers trace is missing from the table);
+ *  - completeness: every noted rule key is observed (every table edge
+ *    is reachable), except keys whose rows are all `kRuleFaultOnly`,
+ *    which a dedicated fault-injection phase reaches instead.
+ *
+ * `kRuleUnreachable` rows carry no note, so they have no coverage key;
+ * their handlers assert they never fire, which every run here
+ * exercises implicitly. Every run also ends with `sys::checkCoherence`
+ * and replays its trace through `sys::checkTraceLegality`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/protocol_table.h"
+#include "mem/address.h"
+#include "system/checker.h"
+#include "system/manycore.h"
+#include "system/trace_sinks.h"
+
+namespace {
+
+using namespace widir;
+using coherence::dirRules;
+using coherence::dirStateName;
+using coherence::kRuleFaultOnly;
+using coherence::l1Rules;
+using coherence::l1StateName;
+using cpu::Task;
+using cpu::Thread;
+using sim::Addr;
+using sim::TraceKind;
+using sim::TraceRecord;
+using sys::Manycore;
+using sys::Program;
+using sys::SystemConfig;
+using sys::TraceRing;
+
+/** One coverage target: a traced transition with its exact note. */
+using EdgeKey = std::tuple<bool /*dirSide*/, std::uint8_t /*from*/,
+                           std::uint8_t /*to*/, std::string /*note*/>;
+
+std::string
+keyName(const EdgeKey &k)
+{
+    auto [dir, from, to, note] = k;
+    std::string out = dir ? "dir " : "L1  ";
+    if (dir)
+        out += std::string(dirStateName(
+                   static_cast<coherence::DirState>(from))) +
+               " -> " +
+               dirStateName(static_cast<coherence::DirState>(to));
+    else
+        out += std::string(l1StateName(
+                   static_cast<coherence::L1State>(from))) +
+               " -> " + l1StateName(static_cast<coherence::L1State>(to));
+    return out + " \"" + note + "\"";
+}
+
+/**
+ * Coverage targets from the table: every noted rule key, mapped to
+ * whether ALL rows with that key are fault-only (a key with both a
+ * fault row and a normal row is reachable without faults).
+ */
+std::map<EdgeKey, bool>
+tableTargets()
+{
+    std::map<EdgeKey, bool> t;
+    auto add = [&t](const EdgeKey &k, bool fault_only) {
+        auto [it, fresh] = t.try_emplace(k, fault_only);
+        if (!fresh)
+            it->second = it->second && fault_only;
+    };
+    for (const coherence::L1Rule &r : l1Rules()) {
+        if (r.note)
+            add({false, static_cast<std::uint8_t>(r.from),
+                 static_cast<std::uint8_t>(r.to), r.note},
+                (r.flags & kRuleFaultOnly) != 0);
+    }
+    for (const coherence::DirRule &r : dirRules()) {
+        if (r.note)
+            add({true, static_cast<std::uint8_t>(r.from),
+                 static_cast<std::uint8_t>(r.to), r.note},
+                (r.flags & kRuleFaultOnly) != 0);
+    }
+    return t;
+}
+
+/** Runs programs and accumulates every traced transition edge. */
+class Explorer
+{
+  public:
+    std::set<EdgeKey> observed;
+    std::uint64_t runs = 0;
+
+    void
+    run(const SystemConfig &cfg, const Program &program)
+    {
+        Manycore m(cfg);
+        TraceRing ring(1u << 20);
+        sim::Tracer &tracer = m.simulator().tracer();
+        tracer.setEnabled(true);
+        tracer.addSink(ring.sink());
+        tracer.addSink([this](const TraceRecord &r) {
+            if (r.kind == TraceKind::L1Transition)
+                observed.insert({false, r.from, r.to,
+                                 r.note ? r.note : ""});
+            else if (r.kind == TraceKind::DirTransition)
+                observed.insert({true, r.from, r.to,
+                                 r.note ? r.note : ""});
+        });
+        m.run(program);
+        ++runs;
+        auto violations = sys::checkCoherence(m);
+        EXPECT_TRUE(violations.empty())
+            << "run " << runs << ": " << violations.front();
+        auto illegal = sys::checkTraceLegality(ring, ring.dropped() == 0);
+        EXPECT_TRUE(illegal.empty())
+            << "run " << runs << ": " << illegal.front();
+    }
+
+    /** Soundness: everything observed must be a noted table row. */
+    void
+    expectObservedSubsetOfTable() const
+    {
+        auto table = tableTargets();
+        for (const EdgeKey &k : observed) {
+            EXPECT_TRUE(table.count(k))
+                << "controller traced an edge the protocol table does "
+                << "not list: " << keyName(k);
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// Addresses
+// ---------------------------------------------------------------------
+
+/**
+ * Lines homed at node 0 of a 4-node machine (lineNumber % 4 == 0),
+ * all mapping to L1 set 0 of the tiny 256 B / 2-way L1 (even line
+ * numbers) and to the single set of the tiny 512 B / 8-way LLC bank.
+ */
+Addr
+hl(unsigned i)
+{
+    return 0x100000 + static_cast<Addr>(i) * 4 * mem::kLineBytes;
+}
+
+/**
+ * Synchronization flags on odd line numbers: homed away from node 0
+ * and mapping to L1 set 1, so spinning never evicts the home-0 lines
+ * a tiny-L1 scenario is steering.
+ */
+Addr
+flag(unsigned i)
+{
+    return 0x200000 +
+           static_cast<Addr>(2 * i + 1) * mem::kLineBytes;
+}
+
+/** Spin until the word at @p f reaches @p v (coroutine body helper). */
+#define AWAIT_FLAG(t, f, v)                                             \
+    for (;;) {                                                          \
+        if ((co_await (t).load(f)) >= (v))                              \
+            break;                                                      \
+        co_await (t).compute(20);                                       \
+    }
+
+#define BUMP_FLAG(t, f)                                                 \
+    do {                                                                \
+        co_await (t).fetchAdd((f), 1);                                  \
+        co_await (t).fence();                                           \
+    } while (0)
+
+// ---------------------------------------------------------------------
+// Configs
+// ---------------------------------------------------------------------
+
+SystemConfig
+smallWidir()
+{
+    return SystemConfig::widir(4);
+}
+
+/** Aggressive wireless knobs: any 2+-sharer upgrade starts a census. */
+SystemConfig
+wirelessCfg()
+{
+    SystemConfig cfg = smallWidir();
+    cfg.protocol.maxWiredSharers = 1;
+    cfg.protocol.updateCountThreshold = 2;
+    return cfg;
+}
+
+/** 256 B / 2-way L1: two sets, so three home-0 lines force evictions. */
+void
+tinyL1(SystemConfig &cfg)
+{
+    cfg.l1.sizeBytes = 256;
+    cfg.l1.assoc = 2;
+}
+
+/** 512 B / 8-way LLC bank: one set, so nine home-0 lines force recalls. */
+void
+tinyLlc(SystemConfig &cfg)
+{
+    cfg.llc.sizeBytes = 512;
+    cfg.llc.assoc = 8;
+}
+
+// ---------------------------------------------------------------------
+// Directed scenarios
+// ---------------------------------------------------------------------
+
+/** Wired MESI basics: fills, forwards, upgrades, invalidations. */
+Task
+mesiBasics(Thread &t)
+{
+    const Addr A = hl(0), B = hl(1), C = hl(2), D = hl(3);
+    const Addr F = flag(0);
+    switch (t.id()) {
+      case 0:
+        co_await t.load(A);           // I->E (dir I->EM, "fetch")
+        co_await t.store(A, 1);       // E->M "store"
+        co_await t.load(B);           // I->E
+        co_await t.fetchAdd(B, 1);    // E->M "rmw"
+        co_await t.fence();
+        BUMP_FLAG(t, F);              // -> 1
+        AWAIT_FLAG(t, F, 5);
+        co_await t.load(D);           // I->E
+        co_await t.fence();
+        BUMP_FLAG(t, F);              // -> 6
+        break;
+      case 1:
+        AWAIT_FLAG(t, F, 1);
+        co_await t.load(A);           // core0 M->S "FwdGetS"; I->S fill
+        co_await t.fence();
+        BUMP_FLAG(t, F);              // -> 2
+        AWAIT_FLAG(t, F, 3);
+        co_await t.store(A, 2);       // upgrade: dir S->EM "InvColl",
+                                      // sharers S->I "Inv", S->M fill
+        co_await t.fence();
+        BUMP_FLAG(t, F);              // -> 4
+        AWAIT_FLAG(t, F, 6);
+        co_await t.load(D);           // core0 E->S "FwdGetS"
+        co_await t.fence();
+        BUMP_FLAG(t, F);              // -> 7
+        break;
+      case 2:
+        AWAIT_FLAG(t, F, 2);
+        co_await t.load(A);           // dir S grows; I->S fill
+        co_await t.fence();
+        BUMP_FLAG(t, F);              // -> 3
+        AWAIT_FLAG(t, F, 4);
+        co_await t.store(A, 3);       // dir EM->EM "FwdGetX";
+                                      // core1 M->I "FwdGetX"; I->M fill
+        co_await t.load(C);           // I->E
+        co_await t.fence();
+        BUMP_FLAG(t, F);              // -> 5
+        break;
+      case 3:
+        AWAIT_FLAG(t, F, 7);
+        co_await t.store(C, 4);       // core2 E->I "FwdGetX"
+        co_await t.load(A);           // core2 M->S "FwdGetS"
+        co_await t.store(A, 5);       // sole... 2 sharers: InvColl again
+        co_await t.fence();
+        break;
+    }
+    co_return;
+}
+
+/** Tiny-L1 capacity evictions: PutS/PutE/PutM and LLC re-hits. */
+Task
+evictions(Thread &t)
+{
+    const Addr P = hl(0), Q = hl(1), R = hl(2);
+    const Addr F = flag(1);
+    switch (t.id()) {
+      case 0:
+        co_await t.load(P);      // fetch, I->E
+        co_await t.load(Q);
+        co_await t.load(R);      // evicts P: E->I "evict", dir "PutE"
+        co_await t.load(P);      // LLC hit: dir I->EM "GetS"; evicts Q
+        co_await t.store(P, 1);  // E->M
+        co_await t.load(Q);      // evicts R (PutE)
+        co_await t.load(R);      // evicts P: M->I "evict", dir "PutM"
+        co_await t.store(P, 2);  // LLC hit: dir I->EM "GetX"; I->M fill
+        co_await t.fence();
+        BUMP_FLAG(t, F);         // -> 1
+        AWAIT_FLAG(t, F, 2);
+        co_await t.load(Q);      // evict oldest of {P,R}
+        co_await t.load(R);      // evict the other; P leaves in S:
+                                 // S->I "evict"; last sharer: dir "PutS"
+        co_await t.fence();
+        BUMP_FLAG(t, F);         // -> 3
+        break;
+      case 1:
+        AWAIT_FLAG(t, F, 1);
+        co_await t.load(P);      // FwdGetS: core0 M->S, dir EM->S
+        co_await t.load(Q);
+        co_await t.load(R);      // evicts P in S: "evict" + PutS
+        co_await t.fence();
+        BUMP_FLAG(t, F);         // -> 2
+        break;
+      default:
+        break;
+    }
+    co_return;
+}
+
+/** Tiny-LLC recalls: RecallEM (owner in E and in M) and RecallS. */
+Task
+recalls(Thread &t)
+{
+    const Addr F = flag(2);
+    switch (t.id()) {
+      case 0:
+        co_await t.store(hl(0), 1); // A0 owned in M
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 1
+        AWAIT_FLAG(t, F, 2);
+        co_await t.load(hl(9));     // 10th home-0 line: keeps churning
+        co_await t.fence();
+        break;
+      case 1:
+        AWAIT_FLAG(t, F, 1);
+        // Fill the single home-0 LLC set: the 9th line recalls A0
+        // (owner in M -> Inv needData -> M->I "Inv", dir "recall");
+        // further fills recall this core's own E lines (E->I "Inv").
+        for (unsigned i = 1; i <= 8; ++i)
+            co_await t.load(hl(i));
+        co_await t.load(hl(0));     // refetch; evicts an E line
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 2
+        AWAIT_FLAG(t, F, 4);
+        for (unsigned i = 10; i <= 17; ++i)
+            co_await t.load(hl(i)); // churn: recalls the shared A0
+                                    // (sharers S->I "Inv", dir S->I
+                                    // "recall")
+        co_await t.fence();
+        break;
+      case 2:
+        AWAIT_FLAG(t, F, 2);
+        co_await t.load(hl(0));     // share A0 ...
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 3
+        break;
+      case 3:
+        AWAIT_FLAG(t, F, 3);
+        co_await t.load(hl(0));     // ... S with two sharers
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 4
+        break;
+    }
+    co_return;
+}
+
+/** Census, joins, wireless updates, self-invalidation, teardown. */
+Task
+wireless(Thread &t)
+{
+    const Addr L = hl(0);
+    const Addr F = flag(3);
+    switch (t.id()) {
+      case 0:
+        co_await t.load(L);        // I->E
+        co_await t.fence();
+        BUMP_FLAG(t, F);           // -> 1
+        AWAIT_FLAG(t, F, 3);
+        // Three S sharers > maxWiredSharers=1: census S->W
+        // (sharers trace "BrWirUpgr", dir traces "census").
+        co_await t.store(L, 1);
+        co_await t.fence();
+        BUMP_FLAG(t, F);           // -> 4
+        AWAIT_FLAG(t, F, 6);
+        // Consecutive updates with no remote access: every other
+        // sharer trips updateCountThreshold=2, self-invalidates
+        // (W->I "UpdateCount") and leaves wired (dir "PutW"); the
+        // count draining to 1 tears the group down (W->S "WirDwgr").
+        co_await t.store(L, 2);
+        co_await t.store(L, 3);
+        co_await t.fence();
+        co_await t.compute(3000);  // let the teardown settle
+        co_await t.store(L, 4);    // sole sharer: dir S->EM "upgrade"
+        co_await t.fence();
+        break;
+      case 1:
+        AWAIT_FLAG(t, F, 1);
+        co_await t.load(L);        // FwdGetS -> S
+        co_await t.fence();
+        BUMP_FLAG(t, F);           // -> 2
+        AWAIT_FLAG(t, F, 4);
+        co_await t.load(L);        // re-read own W copy
+        co_await t.fence();
+        BUMP_FLAG(t, F);           // -> 5
+        break;
+      case 2:
+        AWAIT_FLAG(t, F, 2);
+        co_await t.load(L);        // third sharer
+        co_await t.fence();
+        BUMP_FLAG(t, F);           // -> 3
+        break;
+      case 3:
+        AWAIT_FLAG(t, F, 5);
+        co_await t.load(L);        // W join: WirUpgr fill I->W,
+                                   // dir W->W "join"
+        co_await t.fence();
+        BUMP_FLAG(t, F);           // -> 6
+        break;
+    }
+    co_return;
+}
+
+/** Tiny-L1 wireless: W evictions drain the group to a lone survivor. */
+Task
+wirelessEvict(Thread &t)
+{
+    const Addr P = hl(0), Q = hl(1), R = hl(2);
+    const Addr F = flag(4);
+    switch (t.id()) {
+      case 0:
+        co_await t.load(P);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 1
+        AWAIT_FLAG(t, F, 3);
+        co_await t.store(P, 1);     // census: {0,1,2} -> W, count 3
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 4
+        AWAIT_FLAG(t, F, 6);
+        co_await t.load(P);         // survivor ends in S (or W)
+        co_await t.fence();
+        break;
+      case 1:
+        AWAIT_FLAG(t, F, 1);
+        co_await t.load(P);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 2
+        AWAIT_FLAG(t, F, 4);
+        co_await t.load(Q);
+        co_await t.load(R);         // evicts P: W->I "evict";
+                                    // dir count 3->2 "PutW"
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 5
+        break;
+      case 2:
+        AWAIT_FLAG(t, F, 2);
+        co_await t.load(P);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 3
+        AWAIT_FLAG(t, F, 5);
+        co_await t.load(Q);
+        co_await t.load(R);         // evicts P: count 2->1 ->
+                                    // WirDwgr teardown, W->S
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 6
+        break;
+      default:
+        break;
+    }
+    co_return;
+}
+
+/**
+ * Tiny-L1 wireless: every group member evicts back-to-back, so the
+ * last PutW races the WirDwgr teardown and the group drains to zero
+ * (dir W->I "WirDwgr").
+ */
+Task
+wirelessDrain(Thread &t)
+{
+    const Addr P = hl(0), Q = hl(1), R = hl(2);
+    const Addr F = flag(5);
+    if (t.id() == 0) {
+        AWAIT_FLAG(t, F, 3);
+        // Census from a non-sharer: {1,2,3} adopt W and core 0 joins
+        // through the held tone (fill installs W) -> count 4.
+        co_await t.store(P, 1);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 4
+    } else {
+        co_await t.load(P);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // three sharers -> flag 3
+        AWAIT_FLAG(t, F, 4);
+    }
+    // All four members evict back-to-back (slightly staggered): the
+    // first PutWs drain the count to maxWiredSharers, opening the
+    // WirDwgr teardown, and the last member's PutW races the frame --
+    // zero survivors collapse the group (dir W->I "WirDwgr").
+    co_await t.compute(5 * t.id());
+    co_await t.load(Q);
+    co_await t.load(R);
+    co_await t.fence();
+    co_return;
+}
+
+/** Tiny-LLC wireless: evicting a W line recalls it with WirInv. */
+Task
+wirelessRecall(Thread &t)
+{
+    const Addr L = hl(0);
+    const Addr F = flag(6);
+    switch (t.id()) {
+      case 0:
+        co_await t.load(L);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 1
+        AWAIT_FLAG(t, F, 3);
+        co_await t.store(L, 1);     // census -> W group {0,1,2}
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 4
+        break;
+      case 1:
+        AWAIT_FLAG(t, F, 1);
+        co_await t.load(L);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 2
+        break;
+      case 2:
+        AWAIT_FLAG(t, F, 2);
+        co_await t.load(L);
+        co_await t.fence();
+        BUMP_FLAG(t, F);            // -> 3
+        break;
+      case 3:
+        AWAIT_FLAG(t, F, 4);
+        // Fill the home-0 LLC set with fresh lines: the W line is
+        // evicted -> RecallW -> WirInv (sharers W->I "WirInv",
+        // dir W->I "recall" on the frame's own delivery).
+        for (unsigned i = 1; i <= 8; ++i)
+            co_await t.load(hl(i));
+        co_await t.fence();
+        break;
+    }
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive small-depth interleavings and random walks
+// ---------------------------------------------------------------------
+
+/** Short op scripts over two home-0 lines; id selects the script. */
+Task
+script(Thread &t, unsigned which, unsigned delay)
+{
+    const Addr X = hl(0), Y = hl(1);
+    co_await t.compute(delay);
+    switch (which) {
+      case 0:
+        co_await t.load(X);
+        break;
+      case 1:
+        co_await t.store(X, 1 + t.id());
+        break;
+      case 2:
+        co_await t.fetchAdd(X, 1);
+        break;
+      case 3:
+        co_await t.load(X);
+        co_await t.store(X, 10 + t.id());
+        break;
+      case 4:
+        co_await t.store(Y, t.id());
+        co_await t.load(X);
+        break;
+      case 5:
+        co_await t.load(X);
+        co_await t.load(Y);
+        co_await t.store(X, 20 + t.id());
+        break;
+      default:
+        break;
+    }
+    co_await t.fence();
+    co_return;
+}
+
+/** Seeded random walk over a small line pool. */
+Task
+randomWalk(Thread &t, std::uint64_t seed, unsigned steps)
+{
+    std::mt19937_64 rng(seed * 4 + t.id() + 1);
+    const Addr pool[6] = {hl(0), hl(1), hl(2), flag(7), flag(8), hl(3)};
+    for (unsigned i = 0; i < steps; ++i) {
+        Addr a = pool[rng() % 6];
+        switch (rng() % 10) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+            co_await t.load(a);
+            break;
+          case 4:
+          case 5:
+          case 6:
+            co_await t.store(a, rng());
+            break;
+          case 7:
+            co_await t.fetchAdd(a, 1);
+            break;
+          default:
+            co_await t.compute(rng() % 40);
+            break;
+        }
+    }
+    co_await t.fence();
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+TEST(ProtocolTable, EveryCellDispatches)
+{
+    // l1ActionFor / dirActionFor panic on an uncovered cell; touching
+    // every cell proves the rule arrays tile both tables completely.
+    for (std::size_t s = 0; s < coherence::kNumL1States; ++s)
+        for (std::size_t e = 0; e < coherence::kNumL1Events; ++e)
+            coherence::l1ActionFor(static_cast<coherence::L1State>(s),
+                                   static_cast<coherence::L1Event>(e));
+    for (std::size_t s = 0; s < coherence::kNumDirStates; ++s)
+        for (std::size_t e = 0; e < coherence::kNumDirEvents; ++e)
+            coherence::dirActionFor(
+                static_cast<coherence::DirState>(s),
+                static_cast<coherence::DirEvent>(e));
+}
+
+TEST(ProtocolTable, NotedRowsDefineLegality)
+{
+    // The derived legality relation is exactly the noted rows.
+    std::set<std::pair<std::uint8_t, std::uint8_t>> l1_edges, dir_edges;
+    for (const coherence::L1Rule &r : l1Rules()) {
+        if (r.note)
+            l1_edges.insert({static_cast<std::uint8_t>(r.from),
+                             static_cast<std::uint8_t>(r.to)});
+    }
+    for (const coherence::DirRule &r : dirRules()) {
+        if (r.note)
+            dir_edges.insert({static_cast<std::uint8_t>(r.from),
+                              static_cast<std::uint8_t>(r.to)});
+    }
+    for (std::size_t f = 0; f < coherence::kNumL1States; ++f)
+        for (std::size_t t = 0; t < coherence::kNumL1States; ++t)
+            EXPECT_EQ(coherence::l1EdgeLegal(
+                          static_cast<coherence::L1State>(f),
+                          static_cast<coherence::L1State>(t)),
+                      l1_edges.count({static_cast<std::uint8_t>(f),
+                                      static_cast<std::uint8_t>(t)}) > 0)
+                << "L1 " << f << "->" << t;
+    for (std::size_t f = 0; f < coherence::kNumDirStates; ++f)
+        for (std::size_t t = 0; t < coherence::kNumDirStates; ++t)
+            EXPECT_EQ(coherence::dirEdgeLegal(
+                          static_cast<coherence::DirState>(f),
+                          static_cast<coherence::DirState>(t)),
+                      dir_edges.count({static_cast<std::uint8_t>(f),
+                                       static_cast<std::uint8_t>(t)}) >
+                          0)
+                << "dir " << f << "->" << t;
+}
+
+TEST(ProtocolTable, UnreachableRowsCarryNoNote)
+{
+    for (const coherence::L1Rule &r : l1Rules()) {
+        if (r.flags & coherence::kRuleUnreachable) {
+            EXPECT_EQ(r.note, nullptr);
+        }
+    }
+    for (const coherence::DirRule &r : dirRules()) {
+        if (r.flags & coherence::kRuleUnreachable) {
+            EXPECT_EQ(r.note, nullptr);
+        }
+    }
+}
+
+TEST(StateExplorer, EveryTableEdgeReachable)
+{
+    Explorer ex;
+
+    // Directed scenarios.
+    ex.run(smallWidir(), mesiBasics);
+    {
+        SystemConfig cfg = smallWidir();
+        tinyL1(cfg);
+        ex.run(cfg, evictions);
+    }
+    {
+        SystemConfig cfg = smallWidir();
+        tinyLlc(cfg);
+        ex.run(cfg, recalls);
+    }
+    ex.run(wirelessCfg(), wireless);
+    {
+        SystemConfig cfg = wirelessCfg();
+        tinyL1(cfg);
+        ex.run(cfg, wirelessEvict);
+        ex.run(cfg, wirelessDrain);
+    }
+    {
+        SystemConfig cfg = wirelessCfg();
+        tinyLlc(cfg);
+        ex.run(cfg, wirelessRecall);
+    }
+
+    // Exhaustive small-depth interleavings: every triple of short
+    // scripts on three cores, under the aggressive wireless config
+    // (so censuses and joins happen even at depth 2).
+    for (unsigned a = 0; a < 6; ++a)
+        for (unsigned b = 0; b < 6; ++b)
+            for (unsigned c = 0; c < 6; ++c)
+                ex.run(wirelessCfg(), [a, b, c](Thread &t) -> Task {
+                    switch (t.id()) {
+                      case 0:
+                        return script(t, a, 0);
+                      case 1:
+                        return script(t, b, 11);
+                      case 2:
+                        return script(t, c, 29);
+                      default:
+                        return script(t, 6, 0);
+                    }
+                });
+
+    // Random walks across config variants.
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        auto walk = [seed](Thread &t) -> Task {
+            return randomWalk(t, seed, 40);
+        };
+        ex.run(wirelessCfg(), walk);
+        SystemConfig cfg = wirelessCfg();
+        tinyL1(cfg);
+        ex.run(cfg, walk);
+    }
+
+    ex.expectObservedSubsetOfTable();
+
+    // Completeness: every non-fault-only key must have been observed.
+    for (const auto &[key, fault_only] : tableTargets()) {
+        if (fault_only)
+            continue;
+        EXPECT_TRUE(ex.observed.count(key))
+            << "table edge never reached by the explorer: "
+            << keyName(key);
+    }
+}
+
+TEST(StateExplorer, FaultOnlyEdgesReachableUnderInjection)
+{
+    Explorer ex;
+    // Bursty channel: censuses tend to succeed in the Good state, and
+    // later WirUpd/WirDwgr/WirInv frames die in Bad-state bursts with
+    // no retry budget, driving the wired fallback paths.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        SystemConfig cfg = wirelessCfg();
+        cfg.fault.burstBer = 1.0;
+        cfg.fault.burstEnterProb = 0.25;
+        cfg.fault.burstExitProb = 0.5;
+        cfg.fault.retryBudget = 1;
+        cfg.fault.seed = seed;
+        ex.run(cfg, [seed](Thread &t) -> Task {
+            return randomWalk(t, seed + 100, 60);
+        });
+    }
+    ex.expectObservedSubsetOfTable();
+    for (const auto &[key, fault_only] : tableTargets()) {
+        if (!fault_only)
+            continue;
+        EXPECT_TRUE(ex.observed.count(key))
+            << "fault-only table edge never reached under injection: "
+            << keyName(key);
+    }
+}
+
+} // namespace

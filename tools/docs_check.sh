@@ -1,13 +1,17 @@
 #!/bin/sh
 # docs-check: the reference docs must mention every enumerator of the
 # user-facing enums -- docs/PROTOCOL.md for the protocol, docs/TRACING.md
-# for the trace schema, docs/FAULTS.md for the fault model. Run from
-# anywhere: pass the repo root as $1. Registered as the `docs_check`
-# CTest (tests/CMakeLists.txt) so the references cannot drift when a
-# message type, state, trace kind, or fault knob is added.
+# for the trace schema, docs/FAULTS.md for the fault model -- and the
+# generated transition-table section of PROTOCOL.md must match the
+# protocol table compiled into the simulator. Run from anywhere: pass
+# the repo root as $1 and (optionally) the built gen_protocol_docs
+# binary as $2. Registered as the `docs_check` CTest
+# (tests/CMakeLists.txt) so the references cannot drift when a message
+# type, state, trace kind, or fault knob is added.
 set -u
 
 root="${1:-.}"
+gen="${2:-}"
 for d in docs/PROTOCOL.md docs/TRACING.md docs/FAULTS.md; do
     if [ ! -f "$root/$d" ]; then
         echo "docs-check: missing $root/$d" >&2
@@ -69,13 +73,27 @@ check_enum() {
 
 check_enum src/core/messages.h MsgType
 check_enum src/core/messages.h GrantState
-check_enum src/core/l1_controller.h L1State
-check_enum src/core/directory_controller.h DirState
-check_enum src/core/directory_controller.h TxnType
+check_enum src/core/protocol_table.h L1State
+check_enum src/core/protocol_table.h DirState
+check_enum src/core/protocol_table.h DirTxnType
+check_enum src/core/protocol_table.h L1Event
+check_enum src/core/protocol_table.h DirEvent
+check_enum src/core/protocol_table.h L1Action
+check_enum src/core/protocol_table.h DirAction
 check_enum src/wireless/frame.h FrameKind
 check_enum src/sim/trace.h TraceKind docs/TRACING.md
 check_enum src/sim/trace.h TraceComponent docs/TRACING.md
 check_enum src/fault/fault.h FrameFate docs/FAULTS.md
+
+# The generated transition-relation section must be byte-identical to
+# what the compiled-in protocol table renders (docs == code).
+if [ -n "$gen" ]; then
+    if ! "$gen" --check "$root/docs/PROTOCOL.md"; then
+        echo "docs-check: generated PROTOCOL.md section is stale" \
+             "(run: $gen --update docs/PROTOCOL.md)" >&2
+        fail=1
+    fi
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "docs-check: FAILED (update docs/PROTOCOL.md)" >&2

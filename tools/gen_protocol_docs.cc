@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Render the protocol transition table (core/protocol_table.h) as the
+ * generated section of docs/PROTOCOL.md, so the documented transition
+ * relation is derived from the same rows that drive the controllers
+ * and the trace-legality checker.
+ *
+ * Modes:
+ *   gen_protocol_docs --emit               print the section to stdout
+ *   gen_protocol_docs --check  <PROTOCOL.md>   exit 1 if the file's
+ *                                          marked section is stale
+ *   gen_protocol_docs --update <PROTOCOL.md>   rewrite the marked
+ *                                          section in place
+ *
+ * The section lives between the marker lines below; everything outside
+ * the markers is hand-written prose and is never touched.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/protocol_table.h"
+
+namespace {
+
+using namespace widir;
+using namespace widir::coherence;
+
+constexpr const char *kBeginMarker =
+    "<!-- BEGIN GENERATED: protocol-table (tools/gen_protocol_docs;"
+    " do not edit by hand) -->";
+constexpr const char *kEndMarker =
+    "<!-- END GENERATED: protocol-table -->";
+
+std::string
+flagText(std::uint8_t flags)
+{
+    if ((flags & kRuleFaultOnly) && (flags & kRuleUnreachable))
+        return "fault-only, unreachable";
+    if (flags & kRuleFaultOnly)
+        return "fault-only";
+    if (flags & kRuleUnreachable)
+        return "unreachable";
+    return "";
+}
+
+/** The legality matrix for one domain as a markdown table. */
+template <typename State, typename LegalFn>
+std::string
+legalityMatrix(std::size_t num_states, const char *(*name)(State),
+               LegalFn legal)
+{
+    std::string out = "| from \\ to |";
+    for (std::size_t t = 0; t < num_states; ++t)
+        out += std::string(" ") + name(static_cast<State>(t)) + " |";
+    out += "\n|---|";
+    for (std::size_t t = 0; t < num_states; ++t)
+        out += "---|";
+    out += "\n";
+    for (std::size_t f = 0; f < num_states; ++f) {
+        out += std::string("| **") + name(static_cast<State>(f)) +
+               "** |";
+        for (std::size_t t = 0; t < num_states; ++t) {
+            bool ok = legal(static_cast<State>(f),
+                            static_cast<State>(t));
+            out += ok ? " yes |" : " - |";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+generatedSection()
+{
+    std::string out;
+    out += kBeginMarker;
+    out += "\n\n";
+    out += "The tables below are rendered from the rule arrays in\n"
+           "`src/core/protocol_table.cc` -- the same rows that drive\n"
+           "controller dispatch and `sys::checkTraceLegality`. Rows\n"
+           "with a trace note are *traced edges*: the controller emits\n"
+           "a transition record with exactly that note when the row\n"
+           "fires. Rows without a note are tolerated no-ops or\n"
+           "transient bookkeeping; `fault-only` rows require fault\n"
+           "injection (docs/FAULTS.md) and `unreachable` rows are\n"
+           "protocol-impossible cells kept so dispatch is total (the\n"
+           "handlers assert they never fire).\n\n";
+
+    out += "### L1 transition legality (derived)\n\n";
+    out += legalityMatrix<L1State>(kNumL1States, l1StateName,
+                                   l1EdgeLegal);
+    out += "\nSelf-loops are intentionally absent: the L1 never "
+           "traces a same-state edge.\n\n";
+
+    out += "### Directory transition legality (derived)\n\n";
+    out += legalityMatrix<DirState>(kNumDirStates, dirStateName,
+                                    dirEdgeLegal);
+    out += "\nThe two self-loops are real protocol events: `EM -> EM` "
+           "is the owner hand-off (`FwdGetX`) and `W -> W` covers "
+           "SharerCount changes (`PutW`, `join`).\n\n";
+
+    out += "### L1 rules (Table I)\n\n";
+    out += "| From | Event | Action | To | Trace note | Flags |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for (const L1Rule &r : l1Rules()) {
+        out += std::string("| ") + l1StateName(r.from) + " | " +
+               l1EventName(r.event) + " | " + l1ActionName(r.action) +
+               " | " + l1StateName(r.to) + " | " +
+               (r.note ? (std::string("`") + r.note + "`") : "-") +
+               " | " + flagText(r.flags) + " |\n";
+    }
+    out += "\n### Directory rules (Table II)\n\n";
+    out += "| From | Event | Action | To | Trace note | Flags |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for (const DirRule &r : dirRules()) {
+        out += std::string("| ") + dirStateName(r.from) + " | " +
+               dirEventName(r.event) + " | " + dirActionName(r.action) +
+               " | " + dirStateName(r.to) + " | " +
+               (r.note ? (std::string("`") + r.note + "`") : "-") +
+               " | " + flagText(r.flags) + " |\n";
+    }
+    out += "\n";
+    out += kEndMarker;
+    out += "\n";
+    return out;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream f(path);
+    if (!f)
+        return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/**
+ * Split @p doc around the marked section. Returns false (with a
+ * message) when the markers are missing or malformed.
+ */
+bool
+splitDoc(const std::string &doc, std::string &before,
+         std::string &inside, std::string &after)
+{
+    std::size_t b = doc.find(kBeginMarker);
+    std::size_t e = doc.find(kEndMarker);
+    if (b == std::string::npos || e == std::string::npos || e < b) {
+        std::fprintf(stderr,
+                     "gen_protocol_docs: marker lines not found "
+                     "(expected '%s' ... '%s')\n",
+                     kBeginMarker, kEndMarker);
+        return false;
+    }
+    std::size_t end = e + std::strlen(kEndMarker);
+    if (end < doc.size() && doc[end] == '\n')
+        ++end;
+    before = doc.substr(0, b);
+    inside = doc.substr(b, end - b);
+    after = doc.substr(end);
+    return true;
+}
+
+int
+emitMode()
+{
+    std::fputs(generatedSection().c_str(), stdout);
+    return 0;
+}
+
+int
+checkMode(const std::string &path)
+{
+    std::string doc;
+    if (!readFile(path, doc)) {
+        std::fprintf(stderr, "gen_protocol_docs: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string before, inside, after;
+    if (!splitDoc(doc, before, inside, after))
+        return 1;
+    if (inside != generatedSection()) {
+        std::fprintf(stderr,
+                     "gen_protocol_docs: %s generated section is "
+                     "stale\n",
+                     path.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
+updateMode(const std::string &path)
+{
+    std::string doc;
+    if (!readFile(path, doc)) {
+        std::fprintf(stderr, "gen_protocol_docs: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string before, inside, after;
+    if (!splitDoc(doc, before, inside, after))
+        return 1;
+    std::string next = before + generatedSection() + after;
+    if (next == doc) {
+        std::printf("gen_protocol_docs: %s already current\n",
+                    path.c_str());
+        return 0;
+    }
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        std::fprintf(stderr, "gen_protocol_docs: cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    f << next;
+    std::printf("gen_protocol_docs: updated %s\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 2 && std::strcmp(argv[1], "--emit") == 0)
+        return emitMode();
+    if (argc == 3 && std::strcmp(argv[1], "--check") == 0)
+        return checkMode(argv[2]);
+    if (argc == 3 && std::strcmp(argv[1], "--update") == 0)
+        return updateMode(argv[2]);
+    std::fprintf(stderr,
+                 "usage: %s --emit | --check <PROTOCOL.md> | "
+                 "--update <PROTOCOL.md>\n",
+                 argv[0]);
+    return 2;
+}
