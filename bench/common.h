@@ -12,6 +12,9 @@
  * Every bench accepts the same command line, parsed by bench::Options
  * from one declarative flag table (--help prints it):
  *   --jobs N              worker threads for the sweep
+ *   --sim-threads N       host threads for the bound/weave parallel
+ *                         kernel inside each simulation (docs/PERF.md;
+ *                         0 = classic single-queue kernel)
  *   --trace               capture a protocol trace per configuration
  *                         and export Chrome trace-event JSON files
  *                         next to the stats (docs/TRACING.md)
@@ -33,6 +36,9 @@
  *   WIDIR_BENCH_APPS    comma-separated subset of app names
  *   WIDIR_BENCH_JOBS    worker threads (--jobs wins; default: all
  *                       hardware threads)
+ *   WIDIR_SIM_THREADS   bound/weave kernel threads per simulation
+ *                       (--sim-threads wins; default 0 = classic
+ *                       kernel)
  *   WIDIR_BENCH_OUT     JSON output directory (default bench/out)
  *   WIDIR_TRACE         non-empty and not "0": same as --trace
  *   WIDIR_TRACE_WINDOW  LO:HI cycle window (same as --trace-window)
@@ -112,9 +118,11 @@ inline std::uint32_t
 benchCores(std::uint32_t fallback)
 {
     if (const char *env = std::getenv("WIDIR_BENCH_CORES")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
+        long v = 0;
+        if (sys::parseEnvInt(env, 1, 1'000'000, v))
             return static_cast<std::uint32_t>(v);
+        std::fprintf(stderr, "ignoring invalid WIDIR_BENCH_CORES='%s'\n",
+                     env);
     }
     return fallback;
 }
@@ -152,10 +160,20 @@ class Options
         const Flag flags[] = {
             {"--jobs", "N", "worker threads for the sweep",
              [this](const char *v) {
-                 long n = std::strtol(v, nullptr, 10);
-                 if (n <= 0)
+                 long n = 0;
+                 if (!sys::parseEnvInt(v, 1, 4096, n))
                      die("invalid --jobs value '%s'", v);
                  jobs_ = static_cast<unsigned>(n);
+             }},
+            {"--sim-threads", "N",
+             "bound/weave kernel threads inside each simulation "
+             "(0 = classic kernel)",
+             [this](const char *v) {
+                 long n = 0;
+                 if (!sys::parseEnvInt(v, 0, 4096, n))
+                     die("invalid --sim-threads value '%s'", v);
+                 simThreads_ = static_cast<unsigned>(n);
+                 simThreadsSet_ = true;
              }},
             {"--trace", nullptr,
              "capture + export a protocol trace per configuration",
@@ -241,11 +259,24 @@ class Options
 
         if (std::string err = fault_.validate(); !err.empty())
             die("invalid fault options: %s", err.c_str());
+
+        // --sim-threads wins over WIDIR_SIM_THREADS, including an
+        // explicit 0 (classic kernel): clear the env knob so
+        // runExperiment's fallback cannot re-enable the domain
+        // kernel. Runs before any sweep worker exists, so mutating
+        // the environment is safe.
+        if (simThreadsSet_ && simThreads_ == 0)
+            unsetenv("WIDIR_SIM_THREADS");
     }
 
     const std::string &name() const { return name_; }
     /** Worker threads; 0 lets SweepRunner pick sys::defaultJobs(). */
     unsigned jobs() const { return jobs_; }
+    /**
+     * Bound/weave kernel threads per simulation; 0 defers to
+     * WIDIR_SIM_THREADS (or the classic kernel) in runExperiment.
+     */
+    unsigned simThreads() const { return simThreads_; }
 
     /// @name Tracing (mapped onto sys::TraceOptions per spec)
     /// @{
@@ -337,6 +368,8 @@ class Options
 
     std::string name_;
     unsigned jobs_ = 0;
+    unsigned simThreads_ = 0;
+    bool simThreadsSet_ = false;
     bool traceOn_ = false;
     sim::Tick traceLo_ = 0;
     sim::Tick traceHi_ = sim::kTickNever;
@@ -359,7 +392,8 @@ class Sweep
     explicit Sweep(const Options &opt)
         : runner_(opt.jobs()), name_(opt.name()),
           traceOn_(opt.traceOn()), traceLo_(opt.traceStart()),
-          traceHi_(opt.traceEnd()), fault_(opt.fault())
+          traceHi_(opt.traceEnd()), fault_(opt.fault()),
+          simThreads_(opt.simThreads())
     {
     }
 
@@ -388,6 +422,8 @@ class Sweep
     std::size_t
     addSpec(ExperimentSpec spec)
     {
+        if (spec.simThreads == 0)
+            spec.simThreads = simThreads_; // --sim-threads sweep-wide
         if (traceOn_) {
             spec.trace.enabled = true;
             spec.trace.start = traceLo_;
@@ -451,6 +487,7 @@ class Sweep
     sim::Tick traceLo_;
     sim::Tick traceHi_;
     fault::FaultSpec fault_;
+    unsigned simThreads_;
     std::vector<ExperimentSpec> specs_;
     std::vector<ExperimentResult> results_;
 };

@@ -24,7 +24,10 @@ Core::start(std::function<Task(Thread &)> body,
     WIDIR_ASSERT(!started_, "core %u started twice", node_);
     started_ = true;
     body_ = std::move(body);
-    sim_.scheduleAt(start, [this, num_threads] {
+    // The kickoff -- and therefore the whole coroutine/ROB event chain
+    // it seeds -- belongs to this core's tile, so in domain mode it
+    // must enter the core's own sub-queue.
+    sim_.scheduleForNodeAt(node_, start, [this, num_threads] {
         thread_ = std::make_unique<Thread>(*this, node_, num_threads);
         task_ = body_(*thread_);
         task_.resume(); // run to the first suspension

@@ -1,0 +1,255 @@
+#include "sim/domains.h"
+
+#include <algorithm>
+
+namespace widir::sim {
+
+namespace {
+
+/**
+ * Minimum active domains in a window before the bound phase fans out
+ * to the worker pool. Below this, one domain's events (~hundreds of
+ * nanoseconds) cost less than a pool handshake, so the coordinator
+ * runs the window inline. Wall-time heuristic only: inline execution
+ * runs the exact same per-domain schedule, so results never depend on
+ * which side of the threshold a window falls.
+ */
+constexpr std::size_t kMinParallelWindow = 8;
+
+/** Min-heap order for (tick, domain) entries. */
+constexpr auto heapCmp = [](const std::pair<Tick, std::uint32_t> &a,
+                            const std::pair<Tick, std::uint32_t> &b) {
+    return a.first > b.first;
+};
+
+} // namespace
+
+DomainRuntime::DomainRuntime(EventQueue &boundary, Tracer &tracer,
+                             std::uint32_t num_domains, unsigned threads)
+    : boundary_(boundary), tracer_(tracer)
+{
+    WIDIR_ASSERT(num_domains > 0, "domain scheduler needs >= 1 domain");
+    domains_.reserve(num_domains);
+    for (std::uint32_t d = 0; d < num_domains; ++d)
+        domains_.push_back(std::make_unique<Domain>());
+    inWindow_.assign(num_domains, 0);
+
+    threads_ = std::max(1u, std::min<unsigned>(threads, num_domains));
+    // Participant 0 is the coordinator; the rest are pool workers.
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 1; i < threads_; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+}
+
+DomainRuntime::~DomainRuntime()
+{
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+DomainRuntime::touch(std::uint32_t d)
+{
+    Tick t = domains_[d]->queue.nextTick();
+    if (t == kTickNever)
+        return;
+    heap_.emplace_back(t, d);
+    std::push_heap(heap_.begin(), heap_.end(), heapCmp);
+}
+
+void
+DomainRuntime::scheduleForNode(NodeId node, Tick when, EventFn fn)
+{
+    WIDIR_ASSERT(node < domains_.size(),
+                 "node %u has no domain (of %zu)", node,
+                 domains_.size());
+    EventQueue &q = domains_[node]->queue;
+    // Idle domains no longer tick along with the window clock, so pull
+    // the queue up to the current window before scheduling: that keeps
+    // near-future events on the calendar wheel instead of spilling
+    // them to the far-future heap. Safe because every domain's
+    // nextTick is >= the global minimum, which is >= the boundary
+    // clock.
+    Tick floor = std::min(when, boundary_.now());
+    if (q.now() < floor)
+        q.advanceTo(floor);
+    q.scheduleAt(when, std::move(fn));
+    touch(node);
+}
+
+Tick
+DomainRuntime::domainMinTick()
+{
+    // Drop stale tops: an entry that disagrees with the live queue
+    // describes a tick the domain already ran past (a fresher entry,
+    // pushed by touch() after the mutation, sits further down).
+    while (!heap_.empty()) {
+        const auto &[t, d] = heap_.front();
+        if (domains_[d]->queue.nextTick() == t)
+            return t;
+        std::pop_heap(heap_.begin(), heap_.end(), heapCmp);
+        heap_.pop_back();
+    }
+    return kTickNever;
+}
+
+void
+DomainRuntime::runDomain(Domain &d, Tick m)
+{
+    if (d.queue.nextTick() != m)
+        return;
+    BoundContext ctx{&d.queue, &d.defer};
+    BoundContext *prev_ctx = setBoundContext(&ctx);
+    std::vector<TraceRecord> *prev_buf =
+        Tracer::setThreadBuffer(&d.traceBuf);
+    const EventQueue *prev_clock = Tracer::setThreadClock(&d.queue);
+    d.queue.run(m);
+    Tracer::setThreadClock(prev_clock);
+    Tracer::setThreadBuffer(prev_buf);
+    setBoundContext(prev_ctx);
+}
+
+void
+DomainRuntime::runSlice(std::size_t participant, Tick m)
+{
+    // Static partition of this window's active domains: participant i
+    // owns ran_[A*i/T, A*(i+1)/T). Depends only on (ran_, threads_),
+    // both fixed per window, so the partition is deterministic -- and
+    // irrelevant to results anyway, since bound-phase domains touch
+    // disjoint state.
+    std::size_t a = ran_.size();
+    std::size_t first = a * participant / threads_;
+    std::size_t last = a * (participant + 1) / threads_;
+    for (std::size_t i = first; i < last; ++i)
+        runDomain(*domains_[ran_[i]], m);
+}
+
+void
+DomainRuntime::workerMain(std::size_t participant)
+{
+    // Route sim::warn() fired inside this worker's domains into the
+    // owning simulation's trace, like the coordinator thread does.
+    Tracer::setThreadActive(&tracer_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        epoch_.wait(seen, std::memory_order_acquire);
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        seen = epoch_.load(std::memory_order_acquire);
+        runSlice(participant, windowTick_);
+        if (outstanding_.fetch_sub(1, std::memory_order_release) == 1)
+            outstanding_.notify_one();
+    }
+}
+
+void
+DomainRuntime::parallelBound(Tick m)
+{
+    windowTick_ = m;
+    outstanding_.store(threads_ - 1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    runSlice(0, m);
+    // Brief spin first: on a real multi-core host the workers finish
+    // within microseconds of the coordinator's slice, so the futex
+    // round-trip is usually avoidable.
+    for (unsigned spin = 0; spin < 1024; ++spin) {
+        if (outstanding_.load(std::memory_order_acquire) == 0)
+            return;
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+    }
+    for (;;) {
+        unsigned o = outstanding_.load(std::memory_order_acquire);
+        if (o == 0)
+            return;
+        outstanding_.wait(o, std::memory_order_acquire);
+    }
+}
+
+bool
+DomainRuntime::run(Tick limit)
+{
+    for (;;) {
+        // The window tick: the global minimum over the boundary queue
+        // and the dirty-domain heap.
+        Tick dmin = domainMinTick();
+        Tick m = std::min(dmin, boundary_.nextTick());
+        if (m == kTickNever)
+            return true;
+        if (m > limit) {
+            boundary_.advanceTo(limit);
+            return false;
+        }
+
+        // Collect this window's active domains from the heap. Stale
+        // and duplicate entries at m are dropped; survivors are
+        // sorted so the weave below replays in domain-index order, the
+        // canonical order the determinism contract names.
+        ran_.clear();
+        while (!heap_.empty() && heap_.front().first == m) {
+            std::uint32_t d = heap_.front().second;
+            std::pop_heap(heap_.begin(), heap_.end(), heapCmp);
+            heap_.pop_back();
+            if (domains_[d]->queue.nextTick() == m && !inWindow_[d]) {
+                inWindow_[d] = 1;
+                ran_.push_back(d);
+            }
+        }
+        std::sort(ran_.begin(), ran_.end());
+        for (std::uint32_t d : ran_)
+            inWindow_[d] = 0;
+
+        // BOUND: run every domain with work at m, fanning out to the
+        // pool only when the window is busy enough to pay for the
+        // handshake.
+        if (threads_ > 1 && ran_.size() >= kMinParallelWindow) {
+            parallelBound(m);
+        } else {
+            for (std::uint32_t d : ran_)
+                runDomain(*domains_[d], m);
+        }
+        // Domains consumed their events at m; re-arm their heap
+        // entries with the new nextTick.
+        for (std::uint32_t d : ran_)
+            touch(d);
+
+        // WEAVE (single-threaded). Boundary clock first, so replayed
+        // ops compute their delays relative to the window tick.
+        boundary_.advanceTo(m);
+        // Merge bound-phase trace records in domain order...
+        for (std::uint32_t d : ran_) {
+            if (!domains_[d]->traceBuf.empty())
+                tracer_.flush(domains_[d]->traceBuf);
+        }
+        // ...then replay deferred boundary ops in (domain, FIFO)
+        // order. Replayed work lands at >= m+1 in domain queues and at
+        // >= m on the boundary queue.
+        for (std::uint32_t d : ran_) {
+            Domain &dom = *domains_[d];
+            if (dom.defer.empty())
+                continue;
+            for (EventFn &op : dom.defer)
+                op();
+            dom.defer.clear();
+        }
+        // Finally the boundary's own events at m (channel evaluation,
+        // frame commits, memory completions, ...).
+        boundary_.run(m);
+    }
+}
+
+std::uint64_t
+DomainRuntime::executedEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &d : domains_)
+        total += d->queue.executedEvents();
+    return total;
+}
+
+} // namespace widir::sim

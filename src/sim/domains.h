@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Bound/weave parallel domain scheduler (zsim-style, HPCA'10).
+ *
+ * A single simulation is partitioned into D = numCores *domains*, one
+ * per tile: a tile's core, L1 controller and home directory/LLC bank
+ * all live in domain d = node id, each with its own EventQueue
+ * sub-queue. Everything chip-wide -- the mesh links, the wireless data
+ * and tone channels, main memory -- is a *boundary object* that stays
+ * on the simulator's original queue (the boundary queue).
+ *
+ * Execution alternates two phases per occupied tick m (the global
+ * minimum of every sub-queue's nextTick()):
+ *
+ *  - BOUND: every domain whose next event is at m runs its sub-queue
+ *    up to m, in parallel across host threads. Domains only touch
+ *    their own tile state; any call into a boundary object is not
+ *    executed but appended to the domain's private *defer list*, and
+ *    trace records are parked in the domain's private buffer.
+ *
+ *  - WEAVE (single-threaded): the boundary queue's clock is advanced
+ *    to m, each domain's trace buffer is flushed in domain order, each
+ *    domain's defer list is replayed in domain order (FIFO within a
+ *    domain), and finally the boundary queue runs its own events at m.
+ *
+ * The skew horizon is a single tick because it has to be: a domain
+ * event at tick m can make another domain execute at m+1 (a deferred
+ * one-flit control message over one mesh hop with hopLatency = 1), so
+ * no wider window is conservatively safe. Replayed boundary work
+ * always lands at >= m+1 in other domains (every cross-domain path --
+ * mesh hop, wireless slot, memory access, tone latency -- takes at
+ * least one cycle), which is what makes the window loop make progress.
+ *
+ * Determinism: the merged order per tick -- [domain 0's events in seq
+ * order, domain 1's, ..., then deferred ops in (domain, FIFO) order,
+ * then boundary events in seq order] -- depends only on the domain
+ * partition (fixed at numCores), never on the host thread count. Every
+ * thread count therefore produces byte-identical stats, sweep JSON and
+ * traces (tests/test_scheduler_determinism.cc pins this). The classic
+ * single-queue kernel remains the default and is untouched; the domain
+ * kernel is a second, equally deterministic canonical schedule. See
+ * DESIGN.md and docs/PERF.md.
+ */
+
+#ifndef WIDIR_SIM_DOMAINS_H
+#define WIDIR_SIM_DOMAINS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/trace.h"
+#include "sim/types.h"
+
+namespace widir::sim {
+
+/**
+ * Published (thread-locally) while a bound-phase domain event runs.
+ * Boundary objects test boundContext() at their entry points: non-null
+ * means "you are being called from inside a domain -- defer yourself".
+ */
+struct BoundContext
+{
+    EventQueue *queue;          ///< the executing domain's sub-queue
+    std::vector<EventFn> *defer; ///< the domain's boundary-op FIFO
+};
+
+namespace detail {
+inline thread_local BoundContext *t_bound_context = nullptr;
+} // namespace detail
+
+/** This thread's bound-phase context, or nullptr (weave / classic). */
+inline BoundContext *
+boundContext()
+{
+    return detail::t_bound_context;
+}
+
+/** Install @p ctx as this thread's context; returns the previous one. */
+inline BoundContext *
+setBoundContext(BoundContext *ctx)
+{
+    BoundContext *prev = detail::t_bound_context;
+    detail::t_bound_context = ctx;
+    return prev;
+}
+
+/**
+ * Append a boundary operation to the executing domain's defer list.
+ * Only legal during the bound phase (callers test boundContext()
+ * first).
+ */
+inline void
+deferOp(EventFn op)
+{
+    BoundContext *ctx = boundContext();
+    WIDIR_ASSERT(ctx, "deferOp outside the bound phase");
+    ctx->defer->push_back(std::move(op));
+}
+
+/**
+ * The per-simulation domain runtime: owns the sub-queues, defer lists,
+ * trace buffers and the persistent host worker pool, and drives the
+ * window loop. Created by Simulator::enableDomains; one per simulator,
+ * so parallel sys::SweepRunner workers each own an independent pool.
+ */
+class DomainRuntime
+{
+  public:
+    /**
+     * @param boundary The simulator's original queue (boundary objects
+     *                 and the watchdog clock stay on it).
+     * @param tracer   The simulator's trace hub (weave-phase flushes).
+     * @param num_domains One sub-queue per tile; fixed by the system
+     *                 topology, NOT by the thread count, so the merged
+     *                 schedule is thread-count independent.
+     * @param threads  Host threads for the bound phase (clamped to
+     *                 [1, num_domains]); threads - 1 workers spawn.
+     */
+    DomainRuntime(EventQueue &boundary, Tracer &tracer,
+                  std::uint32_t num_domains, unsigned threads);
+    ~DomainRuntime();
+
+    DomainRuntime(const DomainRuntime &) = delete;
+    DomainRuntime &operator=(const DomainRuntime &) = delete;
+
+    std::uint32_t numDomains() const
+    {
+        return static_cast<std::uint32_t>(domains_.size());
+    }
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Schedule @p fn at absolute tick @p when into @p node's domain.
+     * The single entry point for domain scheduling: it keeps the
+     * dirty-domain heap (the structure the window loop uses to find
+     * the next occupied tick without scanning every sub-queue) in sync
+     * with the queue, so events scheduled behind its back would never
+     * run. Weave/coordinator only -- domains schedule into themselves
+     * through their own queue while bound.
+     */
+    void scheduleForNode(NodeId node, Tick when, EventFn fn);
+
+    /**
+     * The window loop: alternate bound and weave phases until every
+     * queue drains (returns true) or the next occupied tick exceeds
+     * @p limit (advances the boundary clock to @p limit and returns
+     * false, exactly like EventQueue::run).
+     */
+    bool run(Tick limit);
+
+    /** Events executed across all sub-queues (boundary not included). */
+    std::uint64_t executedEvents() const;
+
+  private:
+    /**
+     * One domain, cache-line aligned so parallel bound phases never
+     * false-share queue hot fields across worker threads.
+     */
+    struct alignas(64) Domain
+    {
+        EventQueue queue;
+        std::vector<EventFn> defer;
+        std::vector<TraceRecord> traceBuf;
+    };
+
+    void runDomain(Domain &d, Tick m);
+    void runSlice(std::size_t participant, Tick m);
+    void parallelBound(Tick m);
+    void workerMain(std::size_t participant);
+    void touch(std::uint32_t d);
+    Tick domainMinTick();
+
+    EventQueue &boundary_;
+    Tracer &tracer_;
+    std::vector<std::unique_ptr<Domain>> domains_;
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    /**
+     * Lazy min-heap of (nextTick, domain) over the *dirty* domains:
+     * every queue mutation (a domain running in the bound phase, the
+     * weave scheduling into a domain) re-pushes the domain's current
+     * nextTick. Entries are never updated in place -- a popped entry
+     * that disagrees with the live queue is stale and dropped -- so
+     * the window loop costs O(active log D) per window instead of a
+     * full O(D) scan over mostly-idle domains.
+     */
+    std::vector<std::pair<Tick, std::uint32_t>> heap_;
+    /** Domains with events at the current window tick, sorted. */
+    std::vector<std::uint32_t> ran_;
+    std::vector<std::uint8_t> inWindow_; ///< ran_ dedup scratch
+
+    // Window handshake (futex-backed, C++20 atomic wait/notify, so an
+    // oversubscribed host blocks instead of spin-starving the
+    // coordinator). The coordinator publishes windowTick_ + ran_, then
+    // release-increments epoch_ and notifies; workers acquire-load
+    // epoch_ (which makes the window and all weave-phase queue
+    // mutations visible), run their slice of ran_, and
+    // release-decrement outstanding_; the coordinator briefly spins
+    // then waits for outstanding_ == 0 (acquire, making the workers'
+    // queue mutations visible).
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<unsigned> outstanding_{0};
+    std::atomic<bool> stop_{false};
+    Tick windowTick_ = 0;
+};
+
+} // namespace widir::sim
+
+#endif // WIDIR_SIM_DOMAINS_H

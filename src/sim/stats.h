@@ -92,18 +92,35 @@ class BinnedHistogram
     sample(std::uint64_t v, std::uint64_t weight = 1)
     {
         total_ += weight;
-        weighted_sum_ += v * weight;
+        // 128-bit accumulator: v * weight already overflows uint64 for
+        // plausible inputs (v ~ 2^40 latencies x weight ~ 2^24 merged
+        // bin counts), and the old 64-bit sum wrapped silently,
+        // corrupting mean() with no other symptom.
+        weighted_sum_ += static_cast<unsigned __int128>(v) * weight;
         for (auto &bin : bins_) {
             if (v >= bin.lo && v <= bin.hi) {
                 bin.count += weight;
                 return;
             }
         }
-        bins_.back().count += weight; // clamp above the top bound
+        // Closed-top histograms (open_top=false) clamp above-range
+        // samples into the last bin, like the open-top "50+" bins but
+        // with a recorded count so the clamping is observable. With
+        // open_top=true the last bin spans [lo, UINT64_MAX] and the
+        // loop above always returns, so this path never runs.
+        bins_.back().count += weight;
+        clamped_ += weight;
     }
 
     const std::vector<Bin> &bins() const { return bins_; }
     std::uint64_t total() const { return total_; }
+
+    /**
+     * Samples (by weight) that fell above the last closed bin's upper
+     * bound and were clamped into it. Always 0 for open-top
+     * histograms.
+     */
+    std::uint64_t clamped() const { return clamped_; }
 
     /** Mean of all samples (unbinned). */
     double
@@ -133,12 +150,14 @@ class BinnedHistogram
             bin.count = 0;
         total_ = 0;
         weighted_sum_ = 0;
+        clamped_ = 0;
     }
 
   private:
     std::vector<Bin> bins_;
     std::uint64_t total_ = 0;
-    std::uint64_t weighted_sum_ = 0;
+    unsigned __int128 weighted_sum_ = 0;
+    std::uint64_t clamped_ = 0;
 };
 
 /** Full-resolution distribution: keeps min/max/mean plus percentiles. */

@@ -1,6 +1,7 @@
 #include "system/experiment.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 
@@ -87,17 +88,61 @@ ExperimentSpec::validate() const
     return err;
 }
 
+bool
+parseEnvInt(const char *text, long min, long max, long &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    // end == text catches "abc"; *end != '\0' catches "4abc" and
+    // "4 " (strtol stops at the first non-digit and reports success);
+    // ERANGE catches values strtol saturated to LONG_MIN/LONG_MAX.
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    if (v < min || v > max)
+        return false;
+    out = v;
+    return true;
+}
+
 std::uint32_t
 benchScale(std::uint32_t fallback)
 {
     if (const char *env = std::getenv("WIDIR_BENCH_SCALE")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
+        long v = 0;
+        if (parseEnvInt(env, 1, 1'000'000, v))
             return static_cast<std::uint32_t>(v);
         sim::warn("ignoring invalid WIDIR_BENCH_SCALE='%s'", env);
     }
     return fallback;
 }
+
+namespace {
+
+/**
+ * Resolve the kernel choice for one run: an explicit spec value wins;
+ * otherwise WIDIR_SIM_THREADS selects the bound/weave kernel for the
+ * whole process (0 or unset keeps the classic kernel). Invalid values
+ * warn and fall back to classic rather than silently picking a thread
+ * count the user never asked for.
+ */
+unsigned
+resolveSimThreads(unsigned from_spec)
+{
+    if (from_spec > 0)
+        return from_spec;
+    if (const char *env = std::getenv("WIDIR_SIM_THREADS")) {
+        long v = 0;
+        if (parseEnvInt(env, 0, 4096, v))
+            return static_cast<unsigned>(v);
+        sim::warn("ignoring invalid WIDIR_SIM_THREADS='%s'", env);
+    }
+    return 0;
+}
+
+} // namespace
 
 ExperimentResult
 runExperiment(const ExperimentSpec &spec)
@@ -117,6 +162,7 @@ runExperiment(const ExperimentSpec &spec)
     cfg.protocol.dirPointers =
         std::max(cfg.protocol.dirPointers, spec.maxWiredSharers);
     cfg.fault = spec.fault;
+    cfg.simThreads = resolveSimThreads(spec.simThreads);
 
     Manycore m(cfg);
     workload::WorkloadParams params;
@@ -152,7 +198,7 @@ runExperiment(const ExperimentSpec &spec)
                      2'000'000'000ull);
     std::chrono::duration<double> host_elapsed =
         std::chrono::steady_clock::now() - host_start;
-    r.executedEvents = m.simulator().queue().executedEvents();
+    r.executedEvents = m.simulator().executedEvents();
     r.hostSeconds = host_elapsed.count();
     r.hostEventsPerSec = r.hostSeconds > 0.0
         ? static_cast<double>(r.executedEvents) / r.hostSeconds

@@ -13,6 +13,13 @@ Manycore::Manycore(const SystemConfig &cfg) : cfg_(cfg)
                  "(Section III-B)");
 
     sim_ = std::make_unique<sim::Simulator>(cfg_.seed);
+    if (cfg_.simThreads > 0) {
+        // Bound/weave parallel kernel: one domain per tile, executed
+        // by min(simThreads, numCores) host threads. Must precede all
+        // component construction so nothing schedules into the
+        // single-queue layout first.
+        sim_->enableDomains(cfg_.numCores, cfg_.simThreads);
+    }
 
     cfg_.mesh.numNodes = cfg_.numCores;
     mesh_ = std::make_unique<noc::Mesh>(*sim_, cfg_.mesh);

@@ -54,6 +54,16 @@ struct SystemConfig
      */
     fault::FaultSpec fault;
 
+    /**
+     * Host threads for the bound/weave domain scheduler
+     * (sim/domains.h): 0 (default) keeps the classic single-queue
+     * kernel with its original event order; any value >= 1 partitions
+     * the machine into one domain per tile and runs bound phases on
+     * min(simThreads, numCores) threads. Every simThreads >= 1 value
+     * produces byte-identical results to simThreads == 1.
+     */
+    unsigned simThreads = 0;
+
     /** Convenience: baseline (wired-only MESI Dir_3_B) machine. */
     static SystemConfig
     baseline(std::uint32_t cores = 64)

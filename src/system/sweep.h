@@ -17,6 +17,7 @@
 #define WIDIR_SYSTEM_SWEEP_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "system/experiment.h"
@@ -45,9 +46,26 @@ class SweepRunner
      * order. Workers pull specs from a shared index, so the schedule
      * is dynamic but the output is deterministic: slot i always holds
      * runExperiment(specs[i]).
+     *
+     * If a run throws, the exception no longer escapes the worker
+     * thread (which would std::terminate the process): the first
+     * failure is captured, the remaining workers drain, the pool is
+     * joined, and the exception is rethrown on the calling thread
+     * nested under a std::runtime_error naming the failing spec.
      */
     std::vector<ExperimentResult>
     run(const std::vector<ExperimentSpec> &specs) const;
+
+    /**
+     * Test seam: same pool, scheduling, and exception handling, but
+     * @p run_fn replaces runExperiment. The production sim reports
+     * errors through sim::fatal (which exits) rather than exceptions,
+     * so the throwing path can only be exercised through here.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs,
+        const std::function<ExperimentResult(const ExperimentSpec &)>
+            &run_fn) const;
 
   private:
     unsigned jobs_;

@@ -188,6 +188,50 @@ TEST(Stats, BinnedHistogramWeightedMean)
     EXPECT_DOUBLE_EQ(h.mean(), (4.0 * 3 + 10.0) / 4.0);
 }
 
+TEST(Stats, BinnedHistogramWeightedSumSurvivesUint64Overflow)
+{
+    // Regression: weighted_sum_ accumulated v * weight in uint64_t.
+    // Tick-scale values with merged-slice weights overflow that
+    // silently -- two samples of (2^40, 2^25) already wrap 2^65 past
+    // 64 bits -- corrupting mean() with no other symptom. The
+    // accumulator is 128-bit now.
+    sim::BinnedHistogram h({100}, true);
+    const std::uint64_t v = 1ull << 40;
+    const std::uint64_t w = 1ull << 25;
+    h.sample(v, w);
+    h.sample(v, w);
+    EXPECT_EQ(h.total(), 2 * w);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(v));
+}
+
+TEST(Stats, BinnedHistogramClosedTopClampIsCounted)
+{
+    // open_top=false: above-range samples clamp into the last bin,
+    // and clamped() records how much was clamped (it used to be
+    // silent). The unbinned mean still uses the true sample value.
+    sim::BinnedHistogram h({5, 10}, false);
+    h.sample(3);
+    h.sample(11, 2); // above the last bound: clamped, weight 2
+    ASSERT_EQ(h.bins().size(), 2u);
+    EXPECT_EQ(h.bins()[1].count, 2u);
+    EXPECT_EQ(h.clamped(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), (3.0 + 11.0 * 2) / 3.0);
+
+    h.reset();
+    EXPECT_EQ(h.clamped(), 0u);
+}
+
+TEST(Stats, BinnedHistogramOpenTopNeverClamps)
+{
+    // With open_top=true the last bin spans to UINT64_MAX, so every
+    // sample bins normally and the clamp path is unreachable.
+    sim::BinnedHistogram h({5}, true);
+    h.sample(UINT64_MAX);
+    EXPECT_EQ(h.bins().back().count, 1u);
+    EXPECT_EQ(h.clamped(), 0u);
+}
+
 TEST(Stats, DistributionPercentiles)
 {
     sim::Distribution d;
@@ -305,6 +349,84 @@ TEST(EventQueue, FarFutureEventsRunInTimeOrder)
     EXPECT_EQ(fired, (std::vector<sim::Tick>{1, 1023, 1024, 2047, 3000,
                                              5000}));
     EXPECT_EQ(q.now(), 5000u);
+}
+
+TEST(EventQueue, RunLimitExecutesEventExactlyAtLimit)
+{
+    // The limit is inclusive: an event at exactly the limit tick runs
+    // in this call, and now() lands on the limit whether or not the
+    // queue drained. The bound/weave window loop leans on this --
+    // every bound phase is run(m) with the window's events at m.
+    sim::EventQueue q;
+    int fired = 0;
+    q.scheduleAt(50, [&] { ++fired; });
+    EXPECT_TRUE(q.run(50)); // drained: the at-limit event ran
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 50u);
+
+    q.scheduleAt(60, [&] { ++fired; });
+    q.scheduleAt(61, [&] { ++fired; });
+    EXPECT_FALSE(q.run(60)); // at-limit event runs, later one stays
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 60u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, WheelRevolutionBoundaryEvent)
+{
+    // An event at now + kWheelSize - 1 sits in the last bucket the
+    // wheel currently covers -- one tick further and it would go to
+    // the heap. Popping it after the wheel sweeps a full revolution
+    // (minus one) of empty buckets exercises the occupancy-bitmap
+    // wraparound at the window edge.
+    sim::EventQueue q;
+    q.scheduleAt(0, [] {}); // pin now_ to 0 explicitly
+    EXPECT_TRUE(q.run());
+    constexpr sim::Tick kEdge = sim::EventQueue::kWheelSize - 1;
+    bool edge_fired = false;
+    q.scheduleAt(kEdge, [&] { edge_fired = true; });
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_TRUE(q.run());
+    EXPECT_TRUE(edge_fired);
+    EXPECT_EQ(q.now(), kEdge);
+
+    // Same edge relative to a non-zero now, with a same-tick heap
+    // companion: the (tick, seq) interleave must hold at the window
+    // edge too.
+    std::vector<int> order;
+    q.scheduleAt(q.now() + sim::EventQueue::kWheelSize - 1,
+                 [&] { order.push_back(0); });
+    {
+        ForceHeapGuard heap_only(true);
+        q.scheduleAt(q.now() + sim::EventQueue::kWheelSize - 1,
+                     [&] { order.push_back(1); });
+    }
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, AdvanceToMovesIdleClockForward)
+{
+    // advanceTo is the domain scheduler's clock-lockstep primitive: it
+    // may only move an idle queue's clock up to (not past) its next
+    // event, and never backwards.
+    sim::EventQueue q;
+    q.scheduleAt(100, [] {});
+    q.advanceTo(40);
+    EXPECT_EQ(q.now(), 40u);
+    q.advanceTo(10); // never backwards
+    EXPECT_EQ(q.now(), 40u);
+    q.advanceTo(100); // exactly onto the pending event is legal
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_TRUE(q.run());
+    EXPECT_EQ(q.executedEvents(), 1u);
+}
+
+TEST(EventQueueDeathTest, AdvanceToPastPendingEventPanics)
+{
+    sim::EventQueue q;
+    q.scheduleAt(100, [] {});
+    EXPECT_DEATH(q.advanceTo(101), "skip a pending event");
 }
 
 TEST(EventQueue, WheelSlotsReusedAcrossRevolutions)

@@ -1,33 +1,58 @@
 #!/bin/sh
-# san_check.sh SOURCE_DIR [BUILD_DIR]
+# san_check.sh SOURCE_DIR [BUILD_DIR] [MODE]
 #
-# Sanitizer gate: configures a dedicated build tree with
-# -DWIDIR_SANITIZE=ON (AddressSanitizer + UBSan, see the root
-# CMakeLists.txt), builds it, and runs the default tier-1 ctest suite
-# inside it. Opt-in configurations (`perf`, `asan`) are skipped
-# automatically because a plain `ctest` run never selects them.
+# Sanitizer gate: configures a dedicated build tree for MODE, builds
+# it, and runs the default tier-1 ctest suite inside it. Opt-in
+# configurations (`perf`, `asan`, `tsan`) are skipped automatically
+# because a plain `ctest` run never selects them.
 #
-# Registered as the `san_check` CTest (CONFIGURATIONS asan): run it
-# with `ctest -C asan -R san_check`, or invoke this script directly.
-# The sanitized tree lives next to the source by default so repeat
-# runs are incremental.
+# MODE:
+#   asan (default)  -DWIDIR_SANITIZE=ON: AddressSanitizer + UBSan.
+#   tsan            -DWIDIR_SANITIZE_THREAD=ON: ThreadSanitizer, and
+#                   the suite runs with WIDIR_SIM_THREADS=4 so every
+#                   runExperiment-backed test exercises the bound/weave
+#                   parallel kernel's worker pool (src/sim/domains.h)
+#                   on top of the SweepRunner pool.
+#
+# Registered as the `san_check` CTest (CONFIGURATIONS asan) and
+# `tsan_check` (CONFIGURATIONS tsan): run with
+# `ctest -C asan -R san_check` / `ctest -C tsan -R tsan_check`, or
+# invoke this script directly. The sanitized trees live next to the
+# source by default so repeat runs are incremental.
 
 set -eu
 
-SRC=${1:?usage: san_check.sh SOURCE_DIR [BUILD_DIR]}
-BUILD=${2:-$SRC/build-asan}
+SRC=${1:?usage: san_check.sh SOURCE_DIR [BUILD_DIR] [MODE]}
+MODE=${3:-asan}
+BUILD=${2:-$SRC/build-$MODE}
 JOBS=${WIDIR_SAN_JOBS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)}
 
-echo "configuring sanitized build in $BUILD..."
-cmake -S "$SRC" -B "$BUILD" -DWIDIR_SANITIZE=ON \
+case "$MODE" in
+asan) CONFIG_FLAG=-DWIDIR_SANITIZE=ON ;;
+tsan) CONFIG_FLAG=-DWIDIR_SANITIZE_THREAD=ON ;;
+*)
+    echo "san_check.sh: unknown mode '$MODE' (want asan or tsan)" >&2
+    exit 2
+    ;;
+esac
+
+echo "configuring $MODE build in $BUILD..."
+cmake -S "$SRC" -B "$BUILD" "$CONFIG_FLAG" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 
 echo "building ($JOBS jobs)..."
 cmake --build "$BUILD" -j "$JOBS" >/dev/null
 
-echo "running tier-1 tests under ASan+UBSan..."
 cd "$BUILD"
-# halt_on_error: UBSan findings must fail the run, not just print.
-ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=0} \
-UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1} \
-    ctest --output-on-failure -j "$JOBS"
+if [ "$MODE" = tsan ]; then
+    echo "running tier-1 tests under TSan (WIDIR_SIM_THREADS=4)..."
+    TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+    WIDIR_SIM_THREADS=4 \
+        ctest --output-on-failure -j "$JOBS"
+else
+    echo "running tier-1 tests under ASan+UBSan..."
+    # halt_on_error: UBSan findings must fail the run, not just print.
+    ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=0} \
+    UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1} \
+        ctest --output-on-failure -j "$JOBS"
+fi
