@@ -29,6 +29,12 @@
  *                         BER plus enter/exit probabilities
  *   --fault-retries N     per-transmission retry budget
  *   --fault-seed N        extra seed folded into the fault RNG stream
+ *   --tiles N             tile count (repeatable; benches that sweep
+ *                         core counts, e.g. fig10_scalability, replace
+ *                         their default list with the given values)
+ *   --mesh-concentration C  tiles per mesh router (concentrated mesh)
+ *   --wireless-channels N frequency-multiplexed data sub-channels
+ *   --home-map M          directory sharding: interleave | hash
  *
  * Environment (flags win over environment):
  *   WIDIR_BENCH_SCALE   work multiplier (default per bench)
@@ -215,6 +221,42 @@ class Options
              [this](const char *v) {
                  fault_.seed = std::strtoull(v, nullptr, 10);
              }},
+            {"--tiles", "N",
+             "tile (core) count; repeatable where a bench sweeps core "
+             "counts (e.g. fig10_scalability)",
+             [this](const char *v) {
+                 long n = 0;
+                 if (!sys::parseEnvInt(v, 1, 1'000'000, n))
+                     die("invalid --tiles value '%s'", v);
+                 tiles_.push_back(static_cast<std::uint32_t>(n));
+             }},
+            {"--mesh-concentration", "C",
+             "tiles per mesh router (concentrated mesh; must divide "
+             "the tile count)",
+             [this](const char *v) {
+                 long n = 0;
+                 if (!sys::parseEnvInt(v, 1, 4096, n))
+                     die("invalid --mesh-concentration value '%s'", v);
+                 meshConcentration_ = static_cast<std::uint32_t>(n);
+             }},
+            {"--wireless-channels", "N",
+             "frequency-multiplexed wireless data sub-channels",
+             [this](const char *v) {
+                 long n = 0;
+                 if (!sys::parseEnvInt(v, 1, 4096, n))
+                     die("invalid --wireless-channels value '%s'", v);
+                 wirelessChannels_ = static_cast<std::uint32_t>(n);
+             }},
+            {"--home-map", "interleave|hash",
+             "directory-bank sharding policy",
+             [this](const char *v) {
+                 if (!std::strcmp(v, "interleave"))
+                     homeMap_ = mem::HomeMap::Interleave;
+                 else if (!std::strcmp(v, "hash"))
+                     homeMap_ = mem::HomeMap::Hash;
+                 else
+                     die("invalid --home-map value '%s'", v);
+             }},
         };
 
         if (const char *env = std::getenv("WIDIR_TRACE"))
@@ -290,6 +332,22 @@ class Options
 
     /** Every --ber value, in order (sensitivity_ber sweeps these). */
     const std::vector<double> &berList() const { return bers_; }
+
+    /** Every --tiles value, in order (empty: bench default counts). */
+    const std::vector<std::uint32_t> &tilesList() const
+    {
+        return tiles_;
+    }
+
+    /// @name Scale-out topology knobs (applied sweep-wide)
+    /// @{
+    std::uint32_t meshConcentration() const
+    {
+        return meshConcentration_;
+    }
+    std::uint32_t wirelessChannels() const { return wirelessChannels_; }
+    mem::HomeMap homeMap() const { return homeMap_; }
+    /// @}
 
   private:
     [[noreturn]] void
@@ -375,6 +433,10 @@ class Options
     sim::Tick traceHi_ = sim::kTickNever;
     fault::FaultSpec fault_;
     std::vector<double> bers_;
+    std::vector<std::uint32_t> tiles_;
+    std::uint32_t meshConcentration_ = 1;
+    std::uint32_t wirelessChannels_ = 1;
+    mem::HomeMap homeMap_ = mem::HomeMap::Interleave;
 };
 
 /**
@@ -393,7 +455,10 @@ class Sweep
         : runner_(opt.jobs()), name_(opt.name()),
           traceOn_(opt.traceOn()), traceLo_(opt.traceStart()),
           traceHi_(opt.traceEnd()), fault_(opt.fault()),
-          simThreads_(opt.simThreads())
+          simThreads_(opt.simThreads()),
+          meshConcentration_(opt.meshConcentration()),
+          wirelessChannels_(opt.wirelessChannels()),
+          homeMap_(opt.homeMap())
     {
     }
 
@@ -424,6 +489,14 @@ class Sweep
     {
         if (spec.simThreads == 0)
             spec.simThreads = simThreads_; // --sim-threads sweep-wide
+        // Topology flags apply sweep-wide unless the spec already
+        // carries a non-default value of its own.
+        if (spec.meshConcentration == 1)
+            spec.meshConcentration = meshConcentration_;
+        if (spec.wirelessChannels == 1)
+            spec.wirelessChannels = wirelessChannels_;
+        if (spec.homeMap == mem::HomeMap::Interleave)
+            spec.homeMap = homeMap_;
         if (traceOn_) {
             spec.trace.enabled = true;
             spec.trace.start = traceLo_;
@@ -488,6 +561,9 @@ class Sweep
     sim::Tick traceHi_;
     fault::FaultSpec fault_;
     unsigned simThreads_;
+    std::uint32_t meshConcentration_;
+    std::uint32_t wirelessChannels_;
+    mem::HomeMap homeMap_;
     std::vector<ExperimentSpec> specs_;
     std::vector<ExperimentResult> results_;
 };
@@ -528,6 +604,31 @@ geomean(const std::vector<double> &xs)
     for (double x : xs)
         log_sum += std::log(x);
     return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/**
+ * Peak resident set of this process in KiB (Linux VmHWM), 0 when
+ * unknown. The scale-out benches print it as `host_peak_rss_kb N` so
+ * tools/perf_check.sh --rss can gate footprint growth without needing
+ * GNU time on the host (docs/PERF.md). A host-side figure like the
+ * host_* JSON fields: never part of the widir-sweep-v1 stats.
+ */
+inline std::uint64_t
+hostPeakRssKb()
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr)
+        return 0;
+    std::uint64_t kb = 0;
+    char line[128];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::sscanf(line, "VmHWM: %llu",
+                        reinterpret_cast<unsigned long long *>(&kb)) ==
+            1)
+            break;
+    }
+    std::fclose(f);
+    return kb;
 }
 
 /** Arithmetic mean. */

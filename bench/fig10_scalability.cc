@@ -21,10 +21,17 @@ main(int argc, char **argv)
     using namespace widir::bench;
 
     std::uint32_t scale = sys::benchScale(4);
-    const std::uint32_t core_counts[] = {4, 16, 32, 64};
 
     auto apps = benchApps();
     Options opt("fig10_scalability", argc, argv);
+    // --tiles replaces the paper's core-count sweep, e.g.
+    //   fig10_scalability --tiles 64 --tiles 256 --tiles 1024
+    // scales the figure out to the manycore sizes the flat/SoA hot
+    // state was built for (docs/PERF.md); the first count is the
+    // speedup reference.
+    std::vector<std::uint32_t> core_counts = {4, 16, 32, 64};
+    if (!opt.tilesList().empty())
+        core_counts = opt.tilesList();
     Sweep sweep(opt);
     // bi[c][a] / wi[c][a]: indices per core count x app; the 4-core
     // Baseline row is also the per-app reference.
@@ -45,7 +52,7 @@ main(int argc, char **argv)
     banner("Fig. 10: speedup over the 4-core Baseline", "Figure 10");
 
     std::printf("%-8s %14s %14s\n", "cores", "baseline", "widir");
-    for (std::size_t c = 0; c < std::size(core_counts); ++c) {
+    for (std::size_t c = 0; c < core_counts.size(); ++c) {
         std::vector<double> base_speedups, widir_speedups;
         for (std::size_t i = 0; i < apps.size(); ++i) {
             double ref = static_cast<double>(sweep[bi[0][i]].cycles);
@@ -60,5 +67,10 @@ main(int argc, char **argv)
     std::printf("---\n(paper: curves overlap through 16 cores, then "
                 "WiDir pulls ahead at 32-64)\n");
     sweep.writeJson("fig10_scalability");
+    // Host footprint for the whole sweep; tools/perf_check.sh --rss
+    // compares this across tile counts (separate processes) to gate
+    // super-linear growth.
+    std::printf("host_peak_rss_kb %llu\n",
+                static_cast<unsigned long long>(hostPeakRssKb()));
     return 0;
 }

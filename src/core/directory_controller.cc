@@ -21,6 +21,15 @@ DirectoryController::DirectoryController(CoherenceFabric &fabric,
     : fabric_(fabric), node_(node),
       llc_(llc_cfg.sizeBytes, llc_cfg.assoc, fabric.numNodes())
 {
+    WIDIR_ASSERT(fabric.config().dirPointers <= SharerPtrs::kCapacity,
+                 "dirPointers exceeds the inline sharer-pointer width");
+    // The LLC slice is inclusive, so live directory entries are
+    // bounded by the bank's line count: one reserve at construction
+    // keeps the flat index rehash-free for the whole run. The
+    // blocking directory holds at most a handful of in-flight
+    // transactions per bank.
+    entries_.reserve(llc_cfg.sizeBytes / mem::kLineBytes);
+    txns_.reserve(256);
 }
 
 const DirEntry *
@@ -329,21 +338,28 @@ DirectoryController::handleCachedRequest(const Msg &msg,
             return;
         }
 
-        std::vector<NodeId> targets;
-        if (entry.bcast) {
+        // Invalidation targets: a broadcast burst walks a fixed-width
+        // bitset in ascending node order (the order the old heap
+        // vector was built in); a precise entry keeps the pointers'
+        // insertion order, which is the send order the mesh observes.
+        SharerBits bcast_targets;
+        std::uint32_t n_targets = 0;
+        bool was_bcast = entry.bcast;
+        if (was_bcast) {
             // Broadcast invalidation: every node but the requester.
             ++stats_.bcastInvBursts;
             for (NodeId n = 0; n < fabric_.numNodes(); ++n) {
                 if (n != msg.src)
-                    targets.push_back(n);
+                    bcast_targets.set(n);
             }
+            n_targets = bcast_targets.count();
         } else {
             for (NodeId n : entry.sharers) {
                 if (n != msg.src)
-                    targets.push_back(n);
+                    ++n_targets;
             }
         }
-        if (targets.empty()) {
+        if (n_targets == 0) {
             // Requester is the sole sharer: immediate upgrade.
             traceState(lineAlign(msg.line), DirState::S, DirState::EM,
                        "upgrade", msg.src);
@@ -358,17 +374,25 @@ DirectoryController::handleCachedRequest(const Msg &msg,
         DirTxn &txn = beginTxn(TxnType::InvColl, msg.line);
         txn.requester = msg.src;
         txn.reqType = msg.type;
-        txn.acksExpected = static_cast<std::uint32_t>(targets.size());
-        entry.sharers.clear();
-        entry.bcast = false;
-        stats_.invsSent += targets.size();
-        for (NodeId n : targets) {
+        txn.acksExpected = n_targets;
+        stats_.invsSent += n_targets;
+        auto send_inv = [&](NodeId n) {
             Msg inv;
             inv.type = MsgType::Inv;
             inv.dst = n;
             inv.line = lineAlign(msg.line);
             send(inv, cfg.dirProcLatency);
+        };
+        if (was_bcast) {
+            bcast_targets.forEachSet(send_inv);
+        } else {
+            for (NodeId n : entry.sharers) {
+                if (n != msg.src)
+                    send_inv(n);
+            }
         }
+        entry.sharers.clear();
+        entry.bcast = false;
         return;
       }
 
@@ -1220,21 +1244,28 @@ DirectoryController::startRecall(CacheEntry *victim)
       }
       case DirState::S: {
         DirTxn &txn = beginTxn(TxnType::RecallS, line);
-        std::vector<NodeId> targets;
-        if (entry.bcast) {
-            for (NodeId n = 0; n < fabric_.numNodes(); ++n)
-                targets.push_back(n);
-        } else {
-            targets = entry.sharers;
-        }
-        txn.acksExpected = static_cast<std::uint32_t>(targets.size());
-        stats_.invsSent += targets.size();
-        for (NodeId n : targets) {
+        // Imprecise entries recall with a full ascending broadcast
+        // (bitset walk); precise ones walk the pointer list in
+        // insertion order, exactly as the old target vector did.
+        auto send_inv = [&](NodeId n) {
             Msg inv;
             inv.type = MsgType::Inv;
             inv.dst = n;
             inv.line = line;
             send(inv, cfg.dirProcLatency);
+        };
+        if (entry.bcast) {
+            SharerBits targets;
+            for (NodeId n = 0; n < fabric_.numNodes(); ++n)
+                targets.set(n);
+            txn.acksExpected = targets.count();
+            stats_.invsSent += txn.acksExpected;
+            targets.forEachSet(send_inv);
+        } else {
+            txn.acksExpected = entry.sharers.size();
+            stats_.invsSent += txn.acksExpected;
+            for (NodeId n : entry.sharers)
+                send_inv(n);
         }
         if (txn.acksExpected == 0)
             finishRecall(line, false, nullptr, false);

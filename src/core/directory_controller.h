@@ -21,13 +21,13 @@
 #define WIDIR_CORE_DIRECTORY_CONTROLLER_H
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
 #include "core/fabric.h"
 #include "core/messages.h"
 #include "core/protocol_table.h"
+#include "core/sharer_set.h"
 #include "mem/cache_array.h"
+#include "mem/flat_addr_map.h"
 #include "sim/stats.h"
 #include "wireless/frame.h"
 
@@ -37,7 +37,7 @@ namespace widir::coherence {
 struct DirEntry
 {
     DirState state = DirState::I;
-    std::vector<sim::NodeId> sharers; ///< up to dirPointers entries
+    SharerPtrs sharers;               ///< up to dirPointers entries
     bool bcast = false;               ///< Dir_3_B overflow (Baseline)
     sim::NodeId owner = sim::kNodeNone;
     std::uint32_t sharerCount = 0;    ///< W state census (Fig. 3)
@@ -129,7 +129,7 @@ class DirectoryController
         bool reqIsSharer = false;
         std::uint32_t acksExpected = 0;
         std::uint32_t acksReceived = 0;
-        std::vector<sim::NodeId> ackIds;  ///< ToShared survivor ids
+        SharerPtrs ackIds;                ///< ToShared survivor ids
         std::uint32_t censusSharers = 0;  ///< ToWireless snapshot
         bool censusRequesterLeft = false; ///< requester evicted mid-census
         wireless::JamId jamId = 0;
@@ -225,8 +225,8 @@ class DirectoryController
     CoherenceFabric &fabric_;
     sim::NodeId node_;
     mem::CacheArray llc_;
-    std::unordered_map<sim::Addr, DirEntry> entries_;
-    std::unordered_map<sim::Addr, DirTxn> txns_;
+    mem::FlatAddrMap<DirEntry> entries_;
+    mem::FlatAddrMap<DirTxn> txns_;
     Stats stats_;
     sim::BinnedHistogram sharersUpdated_{{5, 10, 25, 49}, true};
 };

@@ -62,13 +62,14 @@ CoherenceFabric::sendWired(const Msg &msg, sim::Tick delay)
         tracer.emit(r);
     }
     // Clamp the enqueue time so same-pair messages keep their send
-    // order even when sender-side delays differ.
-    std::uint64_t pair =
-        static_cast<std::uint64_t>(msg.src) * numNodes() + msg.dst;
-    sim::Tick enqueue_at = sim_.now() + delay;
-    auto [it, inserted] = lastEnqueue_.try_emplace(pair, enqueue_at);
-    if (!inserted)
-        enqueue_at = it->second = std::max(it->second, enqueue_at);
+    // order even when sender-side delays differ. The zero-initialized
+    // flat array clamps exactly like the old map: ticks are unsigned,
+    // so a never-used pair's 0 floor is a no-op.
+    std::size_t pair =
+        static_cast<std::size_t>(msg.src) * numNodes() + msg.dst;
+    sim::Tick enqueue_at =
+        std::max(sim_.now() + delay, lastEnqueue_[pair]);
+    lastEnqueue_[pair] = enqueue_at;
 
     // The message rides through both per-hop closures as a pooled slot
     // index: capturing the ~100-byte Msg by value would force every

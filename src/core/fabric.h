@@ -37,8 +37,15 @@ class CoherenceFabric
                     wireless::DataChannel *data_channel,
                     wireless::ToneChannel *tone_channel)
         : sim_(sim), cfg_(cfg), mesh_(mesh), memory_(memory),
-          dataChannel_(data_channel), toneChannel_(tone_channel)
+          dataChannel_(data_channel), toneChannel_(tone_channel),
+          lastEnqueue_(static_cast<std::size_t>(mesh.numNodes()) *
+                           mesh.numNodes(),
+                       0)
     {
+        // Steady-state wired traffic is bounded by the outstanding
+        // transactions per tile; pre-sizing the pool keeps the hot
+        // path free of deque growth (docs/PERF.md).
+        pool_.reserve(static_cast<std::size_t>(mesh.numNodes()) * 4);
     }
 
     sim::Simulator &simulator() { return sim_; }
@@ -64,11 +71,11 @@ class CoherenceFabric
     L1Controller &l1(sim::NodeId n) { return *l1s_.at(n); }
     DirectoryController &dir(sim::NodeId n) { return *dirs_.at(n); }
 
-    /** Home directory slice for an address. */
+    /** Home directory slice for an address (cfg.homeMap policy). */
     sim::NodeId
     homeOf(sim::Addr addr) const
     {
-        return mem::homeNode(addr, mesh_.numNodes());
+        return mem::homeNodeOf(addr, mesh_.numNodes(), cfg_.homeMap);
     }
 
     /**
@@ -109,8 +116,13 @@ class CoherenceFabric
     wireless::ToneChannel *toneChannel_;
     std::vector<L1Controller *> l1s_;
     std::vector<DirectoryController *> dirs_;
-    /** Last network-enqueue tick per (src, dst), for FIFO clamping. */
-    std::unordered_map<std::uint64_t, sim::Tick> lastEnqueue_;
+    /**
+     * Last network-enqueue tick per (src, dst) pair, for FIFO
+     * clamping. A flat numNodes^2 array: the map this replaces grew
+     * one node allocation per communicating pair and made the
+     * per-message clamp a hash probe (docs/PERF.md).
+     */
+    std::vector<sim::Tick> lastEnqueue_;
     /** In-flight wired messages (see MsgPool in core/messages.h). */
     MsgPool pool_;
     bool trace_ = false;

@@ -19,6 +19,12 @@ L1Controller::L1Controller(CoherenceFabric &fabric, sim::NodeId node,
       array_(cache_cfg.sizeBytes, cache_cfg.assoc),
       rng_(fabric.simulator().makeRng(0x11C0DE0000ULL + node))
 {
+    // Live transactions are bounded by the lines this cache can pin
+    // (a txn locks its resident line), so the cache geometry gives a
+    // rehash-free reserve for both flat maps.
+    std::size_t lines = cache_cfg.sizeBytes / mem::kLineBytes;
+    txns_.reserve(std::min<std::size_t>(lines, 1024));
+    wirelessTxns_.reserve(std::min<std::size_t>(lines, 1024));
 }
 
 void
@@ -290,7 +296,7 @@ L1Controller::startMiss(const PendingOp &op, Addr line,
         ++stats_.readMisses;
     else
         ++stats_.writeMisses;
-    auto [ins, ok] = txns_.emplace(line, std::move(txn));
+    auto [ins, ok] = txns_.try_emplace(line, std::move(txn));
     WIDIR_ASSERT(ok, "duplicate txn");
     traceMshr(sim::TraceKind::MshrAlloc, line,
               msgTypeName(ins->second.request),
@@ -550,7 +556,7 @@ L1Controller::issueWirelessWrite(const PendingOp &op)
     WirelessTxn wtxn;
     wtxn.line = line;
     wtxn.op = op;
-    auto [ins, ok] = wirelessTxns_.emplace(line, std::move(wtxn));
+    auto [ins, ok] = wirelessTxns_.try_emplace(line, std::move(wtxn));
     WIDIR_ASSERT(ok, "duplicate wireless txn");
     traceMshr(sim::TraceKind::MshrAlloc, line, "WirUpd",
               op.kind == TxnKind::Rmw ? "rmw" : "store");

@@ -18,13 +18,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/fabric.h"
 #include "core/messages.h"
 #include "core/protocol_table.h"
 #include "mem/cache_array.h"
+#include "mem/flat_addr_map.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "wireless/frame.h"
@@ -214,8 +214,8 @@ class L1Controller
     mem::CacheArray array_;
     sim::Rng rng_;
     CompletionFn complete_;
-    std::unordered_map<sim::Addr, Txn> txns_;
-    std::unordered_map<sim::Addr, WirelessTxn> wirelessTxns_;
+    mem::FlatAddrMap<Txn> txns_;
+    mem::FlatAddrMap<WirelessTxn> wirelessTxns_;
     Stats stats_;
 };
 

@@ -11,6 +11,7 @@
 #ifndef WIDIR_CORE_MESSAGES_H
 #define WIDIR_CORE_MESSAGES_H
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -93,6 +94,28 @@ struct Msg
 class MsgPool
 {
   public:
+    /**
+     * Pre-populate @p n slots (all free) so steady-state traffic never
+     * grows the deque. Growth past the watermark is benign but shows
+     * up in grewBeyondReserve() so a sizing regression is visible.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        while (slots_.size() < n) {
+            free_.push_back(static_cast<std::uint32_t>(slots_.size()));
+            slots_.emplace_back();
+        }
+        reserved_ = slots_.size();
+    }
+
+    /** Slots allocated past the reserve() watermark. */
+    std::size_t
+    grewBeyondReserve() const
+    {
+        return slots_.size() - std::min(reserved_, slots_.size());
+    }
+
     /** Copy @p m into a slot and return its index. */
     std::uint32_t
     acquire(const Msg &m)
@@ -129,6 +152,7 @@ class MsgPool
     std::deque<Msg> slots_;
     std::vector<std::uint32_t> free_;
     std::size_t live_ = 0;
+    std::size_t reserved_ = 0;
 };
 
 /** True for message types that carry a full cache line. */

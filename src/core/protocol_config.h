@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "mem/address.h"
 #include "sim/types.h"
 
 namespace widir::coherence {
@@ -34,6 +35,12 @@ struct ProtocolConfig
 
     /** Sharer pointers in a directory entry (i in Dir_iB). */
     std::uint32_t dirPointers = 3;
+
+    /**
+     * Directory-bank sharding policy: how lines map to home slices
+     * (mem/address.h). Interleave keeps the historical modulo mapping.
+     */
+    mem::HomeMap homeMap = mem::HomeMap::Interleave;
 
     /**
      * WiDir: sharer count above which a line switches to the W state.

@@ -68,6 +68,42 @@ homeNode(Addr a, std::uint32_t num_nodes)
     return static_cast<NodeId>(lineNumber(a) % num_nodes);
 }
 
+/**
+ * How the directory banks shard the address space across tiles.
+ *
+ * Interleave is the classic static-NUCA modulo mapping. Hash spreads
+ * lines through a 64-bit finalizer first, which breaks up the
+ * pathological strided access patterns that pile whole data structures
+ * onto a handful of banks at large tile counts (the same idea as
+ * gem5's DirectorySet address hashing).
+ */
+enum class HomeMap : std::uint8_t
+{
+    Interleave, ///< lineNumber % numNodes (default; static NUCA)
+    Hash,       ///< mixed lineNumber % numNodes (bank-conflict proof)
+};
+
+/** Hash-sharded home slice: splitmix64 finalizer over the line number. */
+inline constexpr NodeId
+homeNodeHashed(Addr a, std::uint32_t num_nodes)
+{
+    std::uint64_t x = lineNumber(a);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<NodeId>(x % num_nodes);
+}
+
+/** Home slice of @p a under the selected sharding policy. */
+inline constexpr NodeId
+homeNodeOf(Addr a, std::uint32_t num_nodes, HomeMap map)
+{
+    return map == HomeMap::Hash ? homeNodeHashed(a, num_nodes)
+                                : homeNode(a, num_nodes);
+}
+
 } // namespace widir::mem
 
 #endif // WIDIR_MEM_ADDRESS_H

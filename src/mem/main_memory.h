@@ -15,10 +15,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/address.h"
+#include "mem/flat_addr_map.h"
 #include "mem/line_data.h"
 #include "sim/simulator.h"
 #include "sim/types.h"
@@ -43,6 +43,9 @@ class MainMemory
         : sim_(sim), cfg_(cfg),
           nextFree_(cfg.numControllers, 0)
     {
+        // The store grows with the touched footprint; seed the flat
+        // index so small and medium runs never rehash mid-flight.
+        store_.reserve(4096);
     }
 
     /**
@@ -140,7 +143,7 @@ class MainMemory
     Simulator &sim_;
     Config cfg_;
     std::vector<Tick> nextFree_;
-    std::unordered_map<Addr, LineData> store_;
+    FlatAddrMap<LineData> store_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
 };

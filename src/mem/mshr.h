@@ -12,10 +12,10 @@
 #define WIDIR_MEM_MSHR_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/address.h"
+#include "mem/flat_addr_map.h"
 #include "sim/log.h"
 
 namespace widir::mem {
@@ -32,7 +32,12 @@ struct MshrEntry
 class MshrFile
 {
   public:
-    explicit MshrFile(std::size_t capacity) : capacity_(capacity) {}
+    explicit MshrFile(std::size_t capacity) : capacity_(capacity)
+    {
+        // The capacity bounds the live entries, so a one-time reserve
+        // keeps the flat index rehash-free for the whole run.
+        entries_.reserve(capacity);
+    }
 
     /** Entry for @p addr's line, or nullptr if none outstanding. */
     MshrEntry *
@@ -77,7 +82,7 @@ class MshrFile
 
   private:
     std::size_t capacity_;
-    std::unordered_map<Addr, MshrEntry> entries_;
+    FlatAddrMap<MshrEntry> entries_;
 };
 
 } // namespace widir::mem

@@ -29,24 +29,29 @@ Mesh::Mesh(Simulator &sim, const MeshConfig &cfg)
 {
     WIDIR_ASSERT(cfg_.numNodes > 0, "mesh needs at least one node");
     WIDIR_ASSERT(cfg_.linkBits > 0, "link width must be positive");
-    auto [w, h] = meshDims(cfg_.numNodes);
+    WIDIR_ASSERT(cfg_.concentration > 0 &&
+                     cfg_.numNodes % cfg_.concentration == 0,
+                 "concentration must divide the tile count (%u / %u)",
+                 cfg_.numNodes, cfg_.concentration);
+    routers_ = cfg_.numNodes / cfg_.concentration;
+    auto [w, h] = meshDims(routers_);
     width_ = w;
     height_ = h;
-    // Four directed links per node is an upper bound; index by
-    // (node, direction).
-    linkFree_.assign(static_cast<std::size_t>(cfg_.numNodes) * 4, 0);
+    // Four directed links per router is an upper bound; index by
+    // (router, direction).
+    linkFree_.assign(static_cast<std::size_t>(routers_) * 4, 0);
     localFree_.assign(cfg_.numNodes, 0);
 }
 
 Mesh::Coord
-Mesh::coordOf(NodeId n) const
+Mesh::coordOf(NodeId router) const
 {
-    return Coord{static_cast<std::int32_t>(n % width_),
-                 static_cast<std::int32_t>(n / width_)};
+    return Coord{static_cast<std::int32_t>(router % width_),
+                 static_cast<std::int32_t>(router / width_)};
 }
 
 sim::NodeId
-Mesh::nodeAt(Coord c) const
+Mesh::routerAt(Coord c) const
 {
     return static_cast<NodeId>(c.y * static_cast<std::int32_t>(width_) +
                                c.x);
@@ -55,8 +60,8 @@ Mesh::nodeAt(Coord c) const
 std::uint32_t
 Mesh::hopCount(NodeId src, NodeId dst) const
 {
-    Coord a = coordOf(src);
-    Coord b = coordOf(dst);
+    Coord a = coordOf(routerOf(src));
+    Coord b = coordOf(routerOf(dst));
     return static_cast<std::uint32_t>(std::abs(a.x - b.x) +
                                       std::abs(a.y - b.y));
 }
@@ -99,25 +104,28 @@ Mesh::send(NodeId src, NodeId dst, std::uint32_t bits,
     Tick depart = sim_.now();
     Tick arrive = depart;
 
-    // Walk the XY route: first along X, then along Y. The head advances
-    // one hop per cycle when links are free; each link then stays busy
-    // for the serialization time of the whole message.
-    Coord cur = coordOf(src);
-    Coord dstc = coordOf(dst);
+    // Walk the XY route over the ROUTER grid: first along X, then
+    // along Y. The head advances one hop per cycle when links are
+    // free; each link then stays busy for the serialization time of
+    // the whole message. At concentration 1 routers and tiles
+    // coincide and this is the classic per-tile walk.
+    Coord cur = coordOf(routerOf(src));
+    Coord dstc = coordOf(routerOf(dst));
     while (cur.x != dstc.x || cur.y != dstc.y) {
         Coord next = cur;
         if (cur.x != dstc.x)
             next.x += (dstc.x > cur.x) ? 1 : -1;
         else
             next.y += (dstc.y > cur.y) ? 1 : -1;
-        std::size_t link = linkIndex(nodeAt(cur), nodeAt(next));
+        std::size_t link = linkIndex(routerAt(cur), routerAt(next));
         Tick start = std::max(arrive, linkFree_[link]);
         linkFree_[link] = start + flits;      // serialization occupancy
         arrive = start + cfg_.hopLatency;     // head moves one hop
         cur = next;
     }
-    // Tail arrival: remaining flits stream in behind the head. Local
-    // (0-hop) delivery goes through the NI loopback port, which
+    // Tail arrival: remaining flits stream in behind the head. 0-hop
+    // delivery (same node, or two tiles sharing a concentrated
+    // router) goes through the sender's NI loopback port, which
     // serializes like a link (and keeps same-node delivery FIFO).
     Tick total;
     if (hops == 0) {

@@ -38,6 +38,14 @@ struct MeshConfig
     std::uint32_t numNodes = 64;
     Tick hopLatency = 1;        ///< cycles per router/link hop
     std::uint32_t linkBits = 128; ///< link width (flit size)
+    /**
+     * Tiles per router (concentrated mesh). 1 keeps the classic one
+     * router per tile; c > 1 shares each router among c consecutive
+     * tile ids, shrinking the router grid by c (a 1024-tile machine
+     * with concentration 4 routes over a 16x16 mesh). Must divide
+     * numNodes.
+     */
+    std::uint32_t concentration = 1;
 };
 
 /** Message-level 2D mesh with XY routing and link contention. */
@@ -47,10 +55,12 @@ class Mesh
     Mesh(Simulator &sim, const MeshConfig &cfg);
 
     std::uint32_t numNodes() const { return cfg_.numNodes; }
+    /** Router-grid dimensions (== tile grid at concentration 1). */
     std::uint32_t width() const { return width_; }
     std::uint32_t height() const { return height_; }
+    std::uint32_t numRouters() const { return routers_; }
 
-    /** Manhattan hop count between two nodes. */
+    /** Manhattan router-hop count between two nodes' routers. */
     std::uint32_t hopCount(NodeId src, NodeId dst) const;
 
     /**
@@ -94,14 +104,21 @@ class Mesh
         std::int32_t y;
     };
 
-    Coord coordOf(NodeId n) const;
-    NodeId nodeAt(Coord c) const;
+    /** Router serving tile @p n (n / concentration). */
+    NodeId routerOf(NodeId n) const
+    {
+        return n / cfg_.concentration;
+    }
 
-    /** Directed link id from @p from to adjacent node @p to. */
+    Coord coordOf(NodeId router) const;
+    NodeId routerAt(Coord c) const;
+
+    /** Directed link id from router @p from to adjacent router @p to. */
     std::size_t linkIndex(NodeId from, NodeId to) const;
 
     Simulator &sim_;
     MeshConfig cfg_;
+    std::uint32_t routers_;
     std::uint32_t width_;
     std::uint32_t height_;
     /** Earliest tick each directed link is free. */

@@ -30,9 +30,17 @@ DomainRuntime::DomainRuntime(EventQueue &boundary, Tracer &tracer,
 {
     WIDIR_ASSERT(num_domains > 0, "domain scheduler needs >= 1 domain");
     domains_.reserve(num_domains);
-    for (std::uint32_t d = 0; d < num_domains; ++d)
+    for (std::uint32_t d = 0; d < num_domains; ++d) {
         domains_.push_back(std::make_unique<Domain>());
+        // A tile defers a handful of boundary ops per window and emits
+        // a few dozen trace records; pre-sizing keeps the per-window
+        // hot loops free of vector growth (docs/PERF.md).
+        domains_.back()->defer.reserve(32);
+        domains_.back()->traceBuf.reserve(64);
+    }
     inWindow_.assign(num_domains, 0);
+    ran_.reserve(num_domains);
+    heap_.reserve(num_domains);
 
     threads_ = std::max(1u, std::min<unsigned>(threads, num_domains));
     // Participant 0 is the coordinator; the rest are pool workers.

@@ -83,6 +83,12 @@ ExperimentSpec::validate() const
         add("cores must be positive");
     if (scale == 0)
         add("scale must be positive");
+    if (meshConcentration == 0)
+        add("meshConcentration must be positive");
+    else if (cores % meshConcentration != 0)
+        add("meshConcentration must divide cores");
+    if (wirelessChannels == 0)
+        add("wirelessChannels must be positive");
     add(trace.validate());
     add(fault.validate());
     return err;
@@ -163,6 +169,9 @@ runExperiment(const ExperimentSpec &spec)
         std::max(cfg.protocol.dirPointers, spec.maxWiredSharers);
     cfg.fault = spec.fault;
     cfg.simThreads = resolveSimThreads(spec.simThreads);
+    cfg.mesh.concentration = spec.meshConcentration;
+    cfg.wnoc.numChannels = spec.wirelessChannels;
+    cfg.protocol.homeMap = spec.homeMap;
 
     Manycore m(cfg);
     workload::WorkloadParams params;
@@ -193,6 +202,9 @@ runExperiment(const ExperimentSpec &spec)
     r.scale = spec.scale;
     r.maxWiredSharers = spec.maxWiredSharers;
     r.updateCountThreshold = cfg.protocol.updateCountThreshold;
+    r.meshConcentration = spec.meshConcentration;
+    r.wirelessChannels = spec.wirelessChannels;
+    r.homeMap = spec.homeMap;
     auto host_start = std::chrono::steady_clock::now();
     r.cycles = m.run(workload::makeProgram(*spec.app, params),
                      2'000'000'000ull);

@@ -38,6 +38,17 @@ struct ExperimentResult
     std::uint32_t maxWiredSharers = 3;
     std::uint32_t updateCountThreshold = 0; ///< effective value
 
+    /// @name Scale-out topology knobs (all defaulted: classic machine)
+    ///
+    /// Serialized into widir-sweep-v1 as a "topology" object only when
+    /// any knob is non-default, so existing sweeps stay byte-identical
+    /// to documents written before these knobs existed.
+    /// @{
+    std::uint32_t meshConcentration = 1; ///< tiles per mesh router
+    std::uint32_t wirelessChannels = 1;  ///< frequency-multiplexed bands
+    mem::HomeMap homeMap = mem::HomeMap::Interleave;
+    /// @}
+
     sim::Tick cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t loads = 0;
@@ -150,6 +161,23 @@ struct ExperimentSpec
     std::uint32_t maxWiredSharers = 3; ///< Table VI sweeps this
     /** 0 keeps the ProtocolConfig default (ablation bench sweeps it). */
     std::uint32_t updateCountThreshold = 0;
+
+    /**
+     * Tiles per mesh router (`--mesh-concentration`, docs/PERF.md).
+     * 1 is the classic one-router-per-tile mesh; c > 1 routes over a
+     * cores/c concentrated grid. Must divide cores.
+     */
+    std::uint32_t meshConcentration = 1;
+
+    /**
+     * Frequency-multiplexed wireless data sub-channels
+     * (`--wireless-channels`). 1 is the paper's single broadcast
+     * medium. Ignored by wired-only protocols.
+     */
+    std::uint32_t wirelessChannels = 1;
+
+    /** Directory-bank sharding policy (`--home-map`, mem/address.h). */
+    mem::HomeMap homeMap = mem::HomeMap::Interleave;
 
     /** Tracing (docs/TRACING.md). */
     TraceOptions trace;

@@ -145,6 +145,24 @@ resultToJson(const ExperimentResult &r, int indent)
     w.field("collision_probability", r.collisionProbability);
     w.field("to_wireless", r.toWireless);
     w.field("to_shared", r.toShared);
+    if (r.meshConcentration != 1 || r.wirelessChannels != 1 ||
+        r.homeMap != mem::HomeMap::Interleave) {
+        // Emitted only when a scale-out topology knob is non-default,
+        // so classic-machine sweeps stay byte-identical to documents
+        // written before these knobs existed (same contract as the
+        // fault block below).
+        w.key("topology");
+        ObjectWriter t(out, indent + 2);
+        t.field("mesh_concentration",
+                static_cast<std::uint64_t>(r.meshConcentration));
+        t.field("wireless_channels",
+                static_cast<std::uint64_t>(r.wirelessChannels));
+        t.field("home_map",
+                std::string(r.homeMap == mem::HomeMap::Hash
+                                ? "hash"
+                                : "interleave"));
+        t.close();
+    }
     // Host-perf block. executed_events is deterministic; the host_*
     // wall-clock figures are not -- strip them before byte-diffing two
     // sweeps for identity (docs/PERF.md).

@@ -45,6 +45,27 @@ DataChannel::DataChannel(Simulator &sim, const DataChannelConfig &cfg)
 {
     WIDIR_ASSERT(cfg_.commitOffset <= frameCycles(),
                  "commit point must be inside the frame");
+    WIDIR_ASSERT(cfg_.numChannels > 0,
+                 "data channel needs at least one frequency band");
+    channels_.resize(cfg_.numChannels);
+    for (Channel &ch : channels_)
+        ch.pending.reserve(cfg_.numNodes);
+}
+
+std::uint32_t
+DataChannel::channelOf(sim::Addr line) const
+{
+    if (cfg_.numChannels == 1)
+        return 0;
+    std::uint64_t x = mem::lineNumber(line);
+    if (cfg_.channelPolicy == ChannelPolicy::LineHash) {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+    }
+    return static_cast<std::uint32_t>(x % cfg_.numChannels);
 }
 
 void
@@ -102,8 +123,9 @@ DataChannel::transmitWithToken(std::uint64_t token, const Frame &frame,
     tx.onCommit = std::move(on_commit);
     tx.onFail = std::move(on_fail);
     traceFrame(sim::TraceKind::FrameQueued, frame, tx.token);
-    pending_.push_back(std::move(tx));
-    scheduleEval();
+    std::uint32_t ch = channelOf(frame.lineAddr);
+    channels_[ch].pending.push_back(std::move(tx));
+    scheduleEval(ch);
 }
 
 bool
@@ -115,11 +137,14 @@ DataChannel::cancelPending(std::uint64_t token)
         sim::deferOp([this, token] { cancelPending(token); });
         return false;
     }
-    for (auto &tx : pending_) {
-        if (tx.token == token && !tx.cancelled) {
-            tx.cancelled = true;
-            traceFrame(sim::TraceKind::FrameCancelled, tx.frame, token);
-            return true;
+    for (Channel &ch : channels_) {
+        for (auto &tx : ch.pending) {
+            if (tx.token == token && !tx.cancelled) {
+                tx.cancelled = true;
+                traceFrame(sim::TraceKind::FrameCancelled, tx.frame,
+                           token);
+                return true;
+            }
         }
     }
     return false;
@@ -201,77 +226,79 @@ DataChannel::jammedBy(const PendingTx &tx) const
 }
 
 void
-DataChannel::scheduleEval()
+DataChannel::scheduleEval(std::uint32_t ch)
 {
+    Channel &c = channels_[ch];
     // Find the earliest instant an arbitration could do anything.
-    if (pending_.empty())
+    if (c.pending.empty())
         return;
     Tick earliest = sim::kTickNever;
-    for (const auto &tx : pending_) {
+    for (const auto &tx : c.pending) {
         if (!tx.cancelled)
             earliest = std::min(earliest, tx.readyAt);
     }
     if (earliest == sim::kTickNever)
         return;
-    earliest = std::max({earliest, busyUntil_, sim_.now()});
-    if (evalAt_ != sim::kTickNever && evalAt_ <= earliest)
+    earliest = std::max({earliest, c.busyUntil, sim_.now()});
+    if (c.evalAt != sim::kTickNever && c.evalAt <= earliest)
         return; // an already-scheduled pass covers this instant
     // Supersede any later scheduled pass: bump the generation so the
     // stale callback returns without evaluating (the old code let it
     // run evaluate() a second time -- wasted events, and a hazard the
     // moment evaluate() stops being idempotent).
-    evalAt_ = earliest;
-    std::uint64_t gen = ++evalGen_;
-    sim_.scheduleAtInline(earliest, [this, gen] {
-        if (gen != evalGen_)
+    c.evalAt = earliest;
+    std::uint64_t gen = ++c.evalGen;
+    sim_.scheduleAtInline(earliest, [this, ch, gen] {
+        if (gen != channels_[ch].evalGen)
             return; // superseded by an earlier reschedule
-        evalAt_ = sim::kTickNever;
-        evaluate();
+        channels_[ch].evalAt = sim::kTickNever;
+        evaluate(ch);
     });
 }
 
 void
-DataChannel::evaluate()
+DataChannel::evaluate(std::uint32_t ch)
 {
+    Channel &c = channels_[ch];
     Tick now = sim_.now();
     // A delivery event for this very tick has not run yet (it carries
     // an older event sequence number): re-queue behind it so receivers
     // observe the previous frame before anyone starts a new one.
-    if (deliveryPending_ && deliveryAt_ == now) {
-        sim_.scheduleAtInline(now, [this] { evaluate(); });
+    if (c.deliveryPending && c.deliveryAt == now) {
+        sim_.scheduleAtInline(now, [this, ch] { evaluate(ch); });
         return;
     }
     // Drop cancelled entries lazily.
-    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
-                                  [](const PendingTx &tx) {
-                                      return tx.cancelled;
-                                  }),
-                   pending_.end());
-    if (pending_.empty())
+    c.pending.erase(std::remove_if(c.pending.begin(), c.pending.end(),
+                                   [](const PendingTx &tx) {
+                                       return tx.cancelled;
+                                   }),
+                    c.pending.end());
+    if (c.pending.empty())
         return;
-    if (busyUntil_ > now) {
+    if (c.busyUntil > now) {
         // Non-persistent carrier sense: stations that found the medium
         // busy re-sense after it frees with a small random stagger.
         // Re-sensing at exactly busyUntil_ would make every deferred
         // station start together and collide deterministically after
         // each frame (CSMA collapse under bursts).
-        for (auto &tx : pending_) {
+        for (auto &tx : c.pending) {
             if (!tx.cancelled && tx.readyAt <= now)
-                tx.readyAt = busyUntil_ + rng_.below(cfg_.resenseWindow);
+                tx.readyAt = c.busyUntil + rng_.below(cfg_.resenseWindow);
         }
-        scheduleEval();
+        scheduleEval(ch);
         return;
     }
 
     // All transmitters whose carrier sense sees a free medium at `now`
     // start together; more than one starting is a collision.
     std::vector<std::size_t> ready;
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-        if (pending_[i].readyAt <= now)
+    for (std::size_t i = 0; i < c.pending.size(); ++i) {
+        if (c.pending[i].readyAt <= now)
             ready.push_back(i);
     }
     if (ready.empty()) {
-        scheduleEval();
+        scheduleEval(ch);
         return;
     }
 
@@ -284,10 +311,10 @@ DataChannel::evaluate()
         ++collisionEvents_;
         collisionsSampled_ += ready.size();
         Tick after = now + 1 + cfg_.collisionCycles;
-        busyUntil_ = after;
+        c.busyUntil = after;
         busyCycles_ += after - now;
         for (std::size_t idx : ready) {
-            PendingTx &tx = pending_[idx];
+            PendingTx &tx = c.pending[idx];
             ++tx.attempt;
             std::uint32_t exp =
                 std::min(tx.attempt, cfg_.maxBackoffExp);
@@ -296,32 +323,32 @@ DataChannel::evaluate()
             traceFrame(sim::TraceKind::FrameCollision, tx.frame,
                        tx.attempt);
         }
-        scheduleEval();
+        scheduleEval(ch);
         return;
     }
 
     // Lone transmitter: check the jam filters, which fire a
     // negative-ack in the collision-detect cycle.
     std::size_t idx = ready.front();
-    if (jammedBy(pending_[idx])) {
+    if (jammedBy(c.pending[idx])) {
         if (trace_) {
             std::fprintf(stderr, "%10llu  WNoC %2u JAMMED %-10s line=%#llx\n",
-                         (unsigned long long)now, pending_[idx].frame.src,
-                         frameKindName(pending_[idx].frame.kind),
-                         (unsigned long long)pending_[idx].frame.lineAddr);
+                         (unsigned long long)now, c.pending[idx].frame.src,
+                         frameKindName(c.pending[idx].frame.kind),
+                         (unsigned long long)c.pending[idx].frame.lineAddr);
         }
         ++jamRejects_;
-        traceFrame(sim::TraceKind::FrameJammed, pending_[idx].frame);
+        traceFrame(sim::TraceKind::FrameJammed, c.pending[idx].frame);
         Tick after = now + 1 + cfg_.collisionCycles;
-        busyUntil_ = after;
+        c.busyUntil = after;
         busyCycles_ += after - now;
-        PendingTx &tx = pending_[idx];
+        PendingTx &tx = c.pending[idx];
         // A jam is the directory saying "not yet", not congestion:
         // retry on a short fixed window (and do not escalate the
         // collision backoff), otherwise a long jam (e.g. a batch of
         // W->W joins) starves writers far beyond the jam itself.
         tx.readyAt = after + rng_.below(4) * cfg_.backoffSlot;
-        scheduleEval();
+        scheduleEval(ch);
         return;
     }
 
@@ -337,7 +364,7 @@ DataChannel::evaluate()
     if (fault_) {
         fault::FrameFate fate = fault_->sampleFrame();
         if (fate != fault::FrameFate::Clean) {
-            PendingTx &tx = pending_[idx];
+            PendingTx &tx = c.pending[idx];
             ++tx.faultRetries;
             Tick after;
             if (fate == fault::FrameFate::PreambleLoss) {
@@ -355,7 +382,7 @@ DataChannel::evaluate()
                 traceFrame(sim::TraceKind::FrameCrcError, tx.frame,
                            tx.faultRetries);
             }
-            busyUntil_ = after;
+            c.busyUntil = after;
             busyCycles_ += after - now;
             if (tx.faultRetries > fault_->spec().retryBudget) {
                 ++faultDrops_;
@@ -363,8 +390,8 @@ DataChannel::evaluate()
                            tx.faultRetries);
                 sim::EventFn on_fail = std::move(tx.onFail);
                 sim::NodeId src = tx.frame.src;
-                pending_.erase(pending_.begin() +
-                               static_cast<std::ptrdiff_t>(idx));
+                c.pending.erase(c.pending.begin() +
+                                static_cast<std::ptrdiff_t>(idx));
                 if (on_fail) {
                     // The fallback is sender-side protocol code: run
                     // it in the sender's domain.
@@ -379,7 +406,7 @@ DataChannel::evaluate()
                 tx.readyAt =
                     after + rng_.below(1ULL << exp) * cfg_.backoffSlot;
             }
-            scheduleEval();
+            scheduleEval(ch);
             return;
         }
     }
@@ -388,18 +415,18 @@ DataChannel::evaluate()
     // frame everywhere at the end of the frame.
     if (trace_) {
         std::fprintf(stderr, "%10llu  WNoC %2u %-10s line=%#llx val=%llu\n",
-                     (unsigned long long)now, pending_[idx].frame.src,
-                     frameKindName(pending_[idx].frame.kind),
-                     (unsigned long long)pending_[idx].frame.lineAddr,
-                     (unsigned long long)pending_[idx].frame.value);
+                     (unsigned long long)now, c.pending[idx].frame.src,
+                     frameKindName(c.pending[idx].frame.kind),
+                     (unsigned long long)c.pending[idx].frame.lineAddr,
+                     (unsigned long long)c.pending[idx].frame.value);
     }
-    PendingTx tx = std::move(pending_[idx]);
-    pending_.erase(pending_.begin() +
-                   static_cast<std::ptrdiff_t>(idx));
+    PendingTx tx = std::move(c.pending[idx]);
+    c.pending.erase(c.pending.begin() +
+                    static_cast<std::ptrdiff_t>(idx));
     ++successes_;
     traceFrame(sim::TraceKind::FrameWin, tx.frame, tx.attempt);
     Tick end = now + frameCycles();
-    busyUntil_ = end;
+    c.busyUntil = end;
     busyCycles_ += end - now;
 
     if (tx.onCommit) {
@@ -411,10 +438,10 @@ DataChannel::evaluate()
                                std::move(tx.onCommit));
     }
     Frame frame = tx.frame;
-    deliveryPending_ = true;
-    deliveryAt_ = end;
-    sim_.scheduleAtInline(end, [this, frame] {
-        deliveryPending_ = false;
+    c.deliveryPending = true;
+    c.deliveryAt = end;
+    sim_.scheduleAtInline(end, [this, ch, frame] {
+        channels_[ch].deliveryPending = false;
         traceFrame(sim::TraceKind::FrameDelivered, frame);
         if (!sim_.domainMode()) {
             for (auto &rx : receivers_) {
@@ -442,7 +469,7 @@ DataChannel::evaluate()
             });
         }
     }
-    scheduleEval();
+    scheduleEval(ch);
 }
 
 } // namespace widir::wireless

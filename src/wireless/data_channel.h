@@ -48,10 +48,28 @@ namespace widir::wireless {
 using sim::Simulator;
 using sim::Tick;
 
+/** How frames are assigned to frequency-multiplexed sub-channels. */
+enum class ChannelPolicy : std::uint8_t
+{
+    LineInterleave, ///< lineNumber % numChannels (default)
+    LineHash,       ///< mixed lineNumber % numChannels
+};
+
 /** Data channel configuration (Table III defaults). */
 struct DataChannelConfig
 {
     std::uint32_t numNodes = 64;
+    /**
+     * Frequency-multiplexed data sub-channels. 1 models the paper's
+     * single 20 Gb/s broadcast medium; N > 1 splits the band into N
+     * independent media, each with its own BRS arbitration, and
+     * assigns every frame to the sub-channel of its line address --
+     * same-line frames always share a medium, so the commit point
+     * stays the per-line serialization point.
+     */
+    std::uint32_t numChannels = 1;
+    /** Line -> sub-channel assignment policy (ignored at 1 channel). */
+    ChannelPolicy channelPolicy = ChannelPolicy::LineInterleave;
     Tick transferCycles = 4;   ///< payload incl. preamble
     Tick collisionCycles = 1;  ///< detect window
     Tick commitOffset = 2;     ///< preamble + detect -> guaranteed
@@ -213,6 +231,25 @@ class DataChannel
         return cfg_.transferCycles + cfg_.collisionCycles;
     }
 
+    /**
+     * Per-sub-channel MAC state: every field the single-medium model
+     * kept as a member, one copy per frequency band. Sub-channels
+     * arbitrate independently; the shared RNG is drawn in event order,
+     * which at numChannels == 1 is exactly the historical sequence.
+     */
+    struct Channel
+    {
+        std::vector<PendingTx> pending;
+        Tick busyUntil = 0;
+        Tick evalAt = sim::kTickNever;
+        std::uint64_t evalGen = 0;
+        bool deliveryPending = false;
+        Tick deliveryAt = 0;
+    };
+
+    /** Sub-channel of @p line under the assignment policy. */
+    std::uint32_t channelOf(sim::Addr line) const;
+
     /** Low-bit line-number signature used for jam matching. */
     std::uint64_t signature(sim::Addr line) const;
 
@@ -247,36 +284,25 @@ class DataChannel
     void traceFrame(sim::TraceKind kind, const Frame &frame,
                     std::uint64_t arg = 0);
 
-    /** (Re)schedule an arbitration pass. */
-    void scheduleEval();
+    /** (Re)schedule an arbitration pass for sub-channel @p ch. */
+    void scheduleEval(std::uint32_t ch);
 
-    /** Arbitration: run BRS for the current instant. */
-    void evaluate();
+    /** Arbitration: run BRS on sub-channel @p ch for this instant. */
+    void evaluate(std::uint32_t ch);
 
     Simulator &sim_;
     DataChannelConfig cfg_;
     sim::Rng rng_;
     fault::FaultModel *fault_ = nullptr; ///< null: clean channel
     std::vector<RxHandler> receivers_;
-    std::vector<PendingTx> pending_;
+    /**
+     * One independent BRS medium per frequency band. channels_[0] is
+     * the whole story at the default numChannels == 1; the eval
+     * generation / delivery-pending commentary of the single-medium
+     * model applies per element.
+     */
+    std::vector<Channel> channels_;
     std::vector<JamFilter> jams_;
-    Tick busyUntil_ = 0;
-    /**
-     * Earliest tick an arbitration pass is scheduled for, or
-     * kTickNever when none is live. Each (re)schedule bumps the
-     * generation; a callback whose generation is stale was superseded
-     * by an earlier pass and must not evaluate again.
-     */
-    Tick evalAt_ = sim::kTickNever;
-    std::uint64_t evalGen_ = 0;
-    /**
-     * A frame's delivery event is still pending for this tick: the
-     * next arbitration must run after it (physically, a transmitter
-     * only senses a free medium after the previous frame has fully
-     * arrived everywhere -- including at itself).
-     */
-    bool deliveryPending_ = false;
-    Tick deliveryAt_ = 0;
     std::uint64_t nextToken_ = 1;
     JamId nextJamId_ = 1;
     /**

@@ -1,5 +1,6 @@
 #!/bin/sh
 # perf_check.sh BINARY BASELINE_JSON [MIN_SPEEDUP]
+# perf_check.sh --rss FIG10_BINARY [SLACK]
 #
 # Host-perf gate for the event kernel (docs/PERF.md). Runs the
 # micro_simkernel benchmark suite, then:
@@ -19,6 +20,43 @@
 # with `ctest -C perf -R perf_check`, never in the default tier-1 run.
 
 set -u
+
+# --- footprint mode: perf_check.sh --rss FIG10_BINARY [SLACK] --------
+#
+# Runs the fig10 sweep (fft only, scale 1, classic kernel) at 64 and
+# 256 tiles in separate processes and reads the `host_peak_rss_kb`
+# line each prints (bench/common.h reads VmHWM, so no GNU time needed).
+# Gates on peak RSS growing at most linearly in the tile count: 4x the
+# tiles may cost at most 4 * SLACK (default 1.5) times the memory.
+# The flat/SoA hot state (docs/PERF.md) is what makes this hold; a
+# reintroduced per-line heap allocation fails here before it shows up
+# as wall time. Ratio of two same-process measurements, so it is
+# stable across machines -- unlike section 2's absolute throughput.
+if [ "${1:-}" = "--rss" ]; then
+    FIG10=${2:?usage: perf_check.sh --rss FIG10_BINARY [SLACK]}
+    SLACK=${3:-1.5}
+    OUT=$(mktemp -d /tmp/widir_rss.XXXXXX)
+    trap 'rm -rf "$OUT"' EXIT
+    rss_at() {
+        WIDIR_BENCH_APPS=fft WIDIR_BENCH_SCALE=1 WIDIR_BENCH_OUT="$OUT" \
+            "$FIG10" --tiles "$1" |
+            sed -n 's/^host_peak_rss_kb \([0-9][0-9]*\)$/\1/p'
+    }
+    echo "running $FIG10 at 64 and 256 tiles..."
+    RSS64=$(rss_at 64)
+    RSS256=$(rss_at 256)
+    if [ -z "$RSS64" ] || [ -z "$RSS256" ] || [ "$RSS64" = 0 ]; then
+        echo "perf_check: no host_peak_rss_kb from $FIG10" >&2
+        exit 1
+    fi
+    awk -v a="$RSS64" -v b="$RSS256" -v s="$SLACK" 'BEGIN {
+        r = b / a; lim = 4 * s;
+        ok = r <= lim;
+        printf "%s  fig10 peak RSS: %d KB @64 tiles -> %d KB @256 tiles (%.2fx, need <= %.1fx)\n",
+               ok ? "PASS" : "FAIL", a, b, r, lim;
+        exit ok ? 0 : 1 }'
+    exit $?
+fi
 
 BINARY=${1:?usage: perf_check.sh BINARY BASELINE_JSON [MIN_SPEEDUP]}
 BASELINE=${2:?usage: perf_check.sh BINARY BASELINE_JSON [MIN_SPEEDUP]}
