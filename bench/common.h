@@ -35,6 +35,13 @@
  *   --mesh-concentration C  tiles per mesh router (concentrated mesh)
  *   --wireless-channels N frequency-multiplexed data sub-channels
  *   --home-map M          directory sharding: interleave | hash
+ *   --record DIR          record a widir-mtrace-v1 trace per
+ *                         configuration into DIR (docs/FRONTEND.md)
+ *   --replay full|fast    replay trace-driven apps through the core
+ *                         model (full) or straight into the L1s (fast)
+ *   --trace-in FILE       register FILE (mtrace or text format) as
+ *                         workload "trace:<stem>" and select it via
+ *                         WIDIR_BENCH_APPS when that is unset
  *
  * Environment (flags win over environment):
  *   WIDIR_BENCH_SCALE   work multiplier (default per bench)
@@ -257,6 +264,35 @@ class Options
                  else
                      die("invalid --home-map value '%s'", v);
              }},
+            {"--record", "DIR",
+             "record a widir-mtrace-v1 trace per configuration into "
+             "DIR (docs/FRONTEND.md)",
+             [this](const char *v) {
+                 if (!*v)
+                     die("--record wants a directory");
+                 recordDir_ = v;
+             }},
+            {"--replay", "full|fast",
+             "replay trace-driven apps through the core model (full) "
+             "or straight into the L1s (fast)",
+             [this](const char *v) {
+                 if (!std::strcmp(v, "full"))
+                     replayKind_ = frontend::FrontendKind::ReplayFull;
+                 else if (!std::strcmp(v, "fast"))
+                     replayKind_ = frontend::FrontendKind::ReplayFast;
+                 else
+                     die("invalid --replay value '%s' (want full|fast)",
+                         v);
+                 replaySet_ = true;
+             }},
+            {"--trace-in", "FILE",
+             "register FILE (mtrace or text format) as workload "
+             "'trace:<stem>'; selected via WIDIR_BENCH_APPS when unset",
+             [this](const char *v) {
+                 if (!*v)
+                     die("--trace-in wants a file");
+                 traceIn_ = v;
+             }},
         };
 
         if (const char *env = std::getenv("WIDIR_TRACE"))
@@ -309,6 +345,26 @@ class Options
         // the environment is safe.
         if (simThreadsSet_ && simThreads_ == 0)
             unsetenv("WIDIR_SIM_THREADS");
+
+        // --trace-in makes the external trace a first-class workload:
+        // register it as "trace:<stem>" and, when the user did not
+        // pick an app subset, select exactly it -- so any bench runs
+        // the external trace through its standard sweep. Like
+        // --sim-threads above, this env write precedes the workers.
+        if (!traceIn_.empty()) {
+            std::string stem = traceIn_;
+            if (std::size_t slash = stem.find_last_of('/');
+                slash != std::string::npos)
+                stem.erase(0, slash + 1);
+            if (std::size_t dot = stem.find_last_of('.');
+                dot != std::string::npos && dot > 0)
+                stem.erase(dot);
+            traceApp_ = "trace:" + stem;
+            workload::registerTraceApp(traceApp_, traceIn_);
+            const char *sel = std::getenv("WIDIR_BENCH_APPS");
+            if (!sel || !*sel)
+                setenv("WIDIR_BENCH_APPS", traceApp_.c_str(), 1);
+        }
     }
 
     const std::string &name() const { return name_; }
@@ -347,6 +403,17 @@ class Options
     }
     std::uint32_t wirelessChannels() const { return wirelessChannels_; }
     mem::HomeMap homeMap() const { return homeMap_; }
+    /// @}
+
+    /// @name Frontend selection (docs/FRONTEND.md)
+    /// @{
+    /** Trace output directory; empty when --record was not given. */
+    const std::string &recordDir() const { return recordDir_; }
+    /** True when --replay was given (replayKind() is then valid). */
+    bool replaySet() const { return replaySet_; }
+    frontend::FrontendKind replayKind() const { return replayKind_; }
+    /** Registered app name for --trace-in, "" without the flag. */
+    const std::string &traceApp() const { return traceApp_; }
     /// @}
 
   private:
@@ -437,6 +504,12 @@ class Options
     std::uint32_t meshConcentration_ = 1;
     std::uint32_t wirelessChannels_ = 1;
     mem::HomeMap homeMap_ = mem::HomeMap::Interleave;
+    std::string recordDir_;
+    bool replaySet_ = false;
+    frontend::FrontendKind replayKind_ =
+        frontend::FrontendKind::ReplayFull;
+    std::string traceIn_;
+    std::string traceApp_;
 };
 
 /**
@@ -458,7 +531,8 @@ class Sweep
           simThreads_(opt.simThreads()),
           meshConcentration_(opt.meshConcentration()),
           wirelessChannels_(opt.wirelessChannels()),
-          homeMap_(opt.homeMap())
+          homeMap_(opt.homeMap()), recordDir_(opt.recordDir()),
+          replaySet_(opt.replaySet()), replayKind_(opt.replayKind())
     {
     }
 
@@ -497,6 +571,27 @@ class Sweep
             spec.wirelessChannels = wirelessChannels_;
         if (spec.homeMap == mem::HomeMap::Interleave)
             spec.homeMap = homeMap_;
+        // Frontend flags apply sweep-wide where they make sense:
+        // --record to kernel apps (a trace app has nothing to record),
+        // --replay to trace-driven apps (their trace supplies the
+        // machine-or-text input; kernel apps have no trace to replay).
+        if (spec.frontend == frontend::FrontendKind::Coroutine &&
+            spec.app != nullptr) {
+            const bool trace_app = spec.app->traceSource != nullptr;
+            if (!recordDir_.empty() && !trace_app) {
+                spec.frontend = frontend::FrontendKind::Record;
+                char tag[64];
+                std::snprintf(tag, sizeof(tag), "%zu_%s_%s_%uc",
+                              specs_.size(), spec.app->name,
+                              spec.protocol == Protocol::WiDir
+                                  ? "widir"
+                                  : "baseline",
+                              spec.cores);
+                spec.recordPath = recordDir_ + "/" + tag + ".mtrace";
+            }
+            if (replaySet_ && trace_app)
+                spec.frontend = replayKind_;
+        }
         if (traceOn_) {
             spec.trace.enabled = true;
             spec.trace.start = traceLo_;
@@ -564,6 +659,9 @@ class Sweep
     std::uint32_t meshConcentration_;
     std::uint32_t wirelessChannels_;
     mem::HomeMap homeMap_;
+    std::string recordDir_;
+    bool replaySet_;
+    frontend::FrontendKind replayKind_;
     std::vector<ExperimentSpec> specs_;
     std::vector<ExperimentResult> results_;
 };

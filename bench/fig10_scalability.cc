@@ -22,8 +22,8 @@ main(int argc, char **argv)
 
     std::uint32_t scale = sys::benchScale(4);
 
-    auto apps = benchApps();
     Options opt("fig10_scalability", argc, argv);
+    auto apps = benchApps();
     // --tiles replaces the paper's core-count sweep, e.g.
     //   fig10_scalability --tiles 64 --tiles 256 --tiles 1024
     // scales the figure out to the manycore sizes the flat/SoA hot

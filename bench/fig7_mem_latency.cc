@@ -17,8 +17,8 @@ main(int argc, char **argv)
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
-    auto apps = benchApps();
     Options opt("fig7_mem_latency", argc, argv);
+    auto apps = benchApps();
     Sweep sweep(opt);
     std::vector<std::size_t> bi, wi;
     for (const AppInfo *app : apps) {

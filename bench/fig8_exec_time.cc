@@ -18,8 +18,8 @@ main(int argc, char **argv)
     std::uint32_t scale = sys::benchScale(4);
     const std::uint32_t core_counts[] = {64, 32, 16};
 
-    auto apps = benchApps();
     Options opt("fig8_exec_time", argc, argv);
+    auto apps = benchApps();
     Sweep sweep(opt);
     // bi[c][a] / wi[c][a]: indices per core count x app.
     std::vector<std::vector<std::size_t>> bi, wi;

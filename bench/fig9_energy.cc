@@ -18,8 +18,8 @@ main(int argc, char **argv)
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
-    auto apps = benchApps();
     Options opt("fig9_energy", argc, argv);
+    auto apps = benchApps();
     Sweep sweep(opt);
     std::vector<std::size_t> bi, wi;
     for (const AppInfo *app : apps) {

@@ -17,8 +17,8 @@ main(int argc, char **argv)
     std::uint32_t cores = benchCores(64);
     std::uint32_t scale = sys::benchScale(4);
 
-    auto apps = benchApps();
     Options opt("table5_hops", argc, argv);
+    auto apps = benchApps();
     Sweep sweep(opt);
     std::vector<std::size_t> idx;
     for (const AppInfo *app : apps)

@@ -22,8 +22,8 @@ main(int argc, char **argv)
     std::uint32_t scale = sys::benchScale(4);
     const std::uint32_t thresholds[] = {2, 3, 4, 5};
 
-    auto apps = benchApps();
     Options opt("table6_sensitivity", argc, argv);
+    auto apps = benchApps();
     Sweep sweep(opt);
     // Baseline reference per app (independent of the threshold), then
     // one WiDir run per (threshold x app).

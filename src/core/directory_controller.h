@@ -105,6 +105,13 @@ class DirectoryController
     };
     const Stats &stats() const { return stats_; }
 
+    /** Address-map index rehashes (host_map_rehashes, docs/PERF.md). */
+    std::uint64_t
+    mapRehashes() const
+    {
+        return entries_.rehashes() + txns_.rehashes();
+    }
+
     /**
      * Fig. 5: number of OTHER sharers updated by each wireless write
      * homed at this slice (bins: <=5, 6-10, 11-25, 26-49, 50+).

@@ -107,6 +107,18 @@ class CoherenceFabric
         return carriesLine(t) ? cfg_.dataBits : cfg_.ctrlBits;
     }
 
+    /**
+     * Message-pool slots allocated beyond the construction-time
+     * reserve (MsgPool::grewBeyondReserve()); surfaced in the sweep
+     * JSON as host_msgpool_grew so a sizing regression shows up in
+     * tracked bench output.
+     */
+    std::uint64_t
+    msgPoolGrew() const
+    {
+        return pool_.grewBeyondReserve();
+    }
+
   private:
     sim::Simulator &sim_;
     ProtocolConfig cfg_;

@@ -110,6 +110,13 @@ class L1Controller
         std::uint64_t wirelessFallbacks = 0;
     };
     const Stats &stats() const { return stats_; }
+
+    /** Address-map index rehashes (host_map_rehashes, docs/PERF.md). */
+    std::uint64_t
+    mapRehashes() const
+    {
+        return txns_.rehashes() + wirelessTxns_.rehashes();
+    }
     /// @}
 
   private:

@@ -44,6 +44,8 @@ Core::addCompute(std::uint64_t count)
 {
     if (count == 0)
         return;
+    if (sink_ != nullptr)
+        sink_->compute(count);
     RobEntry e;
     e.kind = EntryKind::Compute;
     e.count = count;
@@ -56,6 +58,8 @@ Core::addCompute(std::uint64_t count)
 void
 Core::addStore(Addr addr, std::uint64_t value)
 {
+    if (sink_ != nullptr)
+        sink_->store(addr, value);
     RobEntry e;
     e.kind = EntryKind::Store;
     e.addr = addr;
@@ -69,6 +73,8 @@ Core::addStore(Addr addr, std::uint64_t value)
 void
 Core::addNonBlockingLoad(Addr addr)
 {
+    if (sink_ != nullptr)
+        sink_->load(addr, false);
     RobEntry e;
     e.kind = EntryKind::Load;
     e.addr = addr;
@@ -88,6 +94,8 @@ Core::issueBlockingLoad(Addr addr,
                         std::uint64_t *result_slot)
 {
     WIDIR_ASSERT(!valueWaiter_, "core %u: nested blocking load", node_);
+    if (sink_ != nullptr)
+        sink_->load(addr, true);
     RobEntry e;
     e.kind = EntryKind::Load;
     e.addr = addr;
@@ -111,6 +119,8 @@ Core::waitRmw(Addr addr,
               std::uint64_t *result_slot)
 {
     WIDIR_ASSERT(!rmwPending_, "core %u: nested RMW", node_);
+    if (sink_ != nullptr)
+        sink_->rmw(addr);
     RobEntry e;
     e.kind = EntryKind::Rmw;
     e.addr = addr;
@@ -121,6 +131,21 @@ Core::waitRmw(Addr addr,
     rmwIssued_ = false;
     rmwAddr_ = addr;
     rmwModify_ = std::move(modify);
+    if (sink_ != nullptr)
+    {
+        // Tap every L1 evaluation of the modify function: the wireless
+        // RMW path may evaluate speculatively, be squashed by a remote
+        // update, and retry on a different value, and replay fidelity
+        // needs each distinct (input, result) pair (cpu/op_sink.h).
+        // Pure observation -- the wrapper forwards the inner result
+        // unchanged and schedules nothing.
+        rmwModify_ = [inner = std::move(rmwModify_),
+                      sink = sink_](std::uint64_t v) {
+            std::uint64_t r = inner(v);
+            sink->rmwEval(v, r);
+            return r;
+        };
+    }
     valueWaiter_ = resume_handle;
     valueSlot_ = result_slot;
     scheduleStep(0);
@@ -130,6 +155,8 @@ void
 Core::waitFence(std::coroutine_handle<> resume_handle)
 {
     WIDIR_ASSERT(!fenceWaiter_, "core %u: nested fence", node_);
+    if (sink_ != nullptr)
+        sink_->fence();
     fenceWaiter_ = resume_handle;
     scheduleStep(0);
 }
@@ -145,6 +172,8 @@ Core::suspendForSpace(std::coroutine_handle<> resume_handle)
 void
 Core::waitIdle(Tick cycles, std::coroutine_handle<> resume_handle)
 {
+    if (sink_ != nullptr)
+        sink_->idle(cycles);
     sim_.scheduleInline(cycles, [this, resume_handle] {
         resume_handle.resume();
         scheduleStep(0);
@@ -194,6 +223,11 @@ Core::onL1Complete(std::uint64_t token, std::uint64_t value)
         // The atomic completed at the memory system; mark the ROB head
         // ready and resume the coroutine with the old value.
         WIDIR_ASSERT(rmwPending_ && rmwIssued_, "spurious RMW done");
+        // The recorder needs the old/new pair to reconstruct the
+        // modify at replay. rmwModify_ is pure (the L1 may invoke it
+        // more than once), so re-applying it here is side-effect-free.
+        if (sink_ != nullptr)
+            sink_->rmwResult(value, rmwModify_(value));
         rmwPending_ = false;
         rmwIssued_ = false;
         for (auto &[seq, entry] : rob_) {

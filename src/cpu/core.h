@@ -37,6 +37,7 @@
 #include <unordered_map>
 
 #include "core/l1_controller.h"
+#include "cpu/op_sink.h"
 #include "cpu/task.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -102,6 +103,22 @@ class Core
     };
     const Stats &stats() const { return stats_; }
     /// @}
+
+    /**
+     * Install an operation tap (null to remove). The sink observes
+     * every op the thread program issues plus the sync annotations;
+     * it is pure observation -- no events, RNG draws, or timing state
+     * -- so a tapped run is byte-identical to an untapped one.
+     */
+    void setOpSink(OpSink *sink) { sink_ = sink; }
+
+    /** Forward a sync annotation (Thread::note()) to the sink. */
+    void
+    noteSync(SyncNote kind, Addr addr)
+    {
+        if (sink_ != nullptr)
+            sink_->sync(kind, addr, sim_.now());
+    }
 
     /// @name Called by the Thread awaitables
     /// @{
@@ -174,6 +191,7 @@ class Core
     sim::NodeId node_;
     CoreConfig cfg_;
     sim::Rng rng_;
+    OpSink *sink_ = nullptr;
 
     Task task_;
     std::function<Task(Thread &)> body_;

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * OpSink: an optional tap on the Thread <-> Core boundary.
+ *
+ * A Core with a sink installed reports every operation the thread
+ * program issues -- at the exact point the awaitables hand them to the
+ * timing model -- plus the synchronization annotations the workload
+ * sync library volunteers. The tap is pure observation: installing a
+ * sink schedules no events, draws no random numbers, and touches no
+ * timing state, so a recorded run is byte-identical to the same run
+ * unrecorded (docs/FRONTEND.md).
+ *
+ * The interface lives in cpu/ (not frontend/) so the core does not
+ * depend on the recorder that implements it.
+ */
+
+#ifndef WIDIR_CPU_OP_SINK_H
+#define WIDIR_CPU_OP_SINK_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace widir::cpu {
+
+/**
+ * Synchronization-annotation kinds (the `Sync` record of
+ * widir-mtrace-v1, docs/FRONTEND.md). The sync library emits one note
+ * per completed primitive; the text-trace parser maps its optional
+ * `S <seq>` extension onto External.
+ */
+enum class SyncNote : std::uint8_t
+{
+    External,      ///< text-trace `S <seq>` global ordering token
+    LockAcquire,   ///< spin lock acquired (CAS won)
+    LockRelease,   ///< spin lock released
+    BarrierArrive, ///< barrier arrival counter bumped
+    BarrierDepart, ///< barrier sense observed / flipped
+    TaskClaim,     ///< task-queue index claimed
+};
+
+/** Receiver for the per-thread operation stream of one Core. */
+class OpSink
+{
+  public:
+    virtual ~OpSink() = default;
+
+    virtual void compute(std::uint64_t count) = 0;
+    /** A load entered the ROB. @p blocking: value steers control flow. */
+    virtual void load(sim::Addr addr, bool blocking) = 0;
+    virtual void store(sim::Addr addr, std::uint64_t value) = 0;
+    /** An RMW was issued (old/new values follow in rmwResult()). */
+    virtual void rmw(sim::Addr addr) = 0;
+    /**
+     * The in-flight RMW's modify function was evaluated on @p in,
+     * yielding @p result. The L1 may evaluate speculatively (wireless
+     * RMW at issue time), be squashed by a remote update, and retry
+     * against a different line value; faithful replay needs every
+     * distinct evaluation, not just the committed one (mtrace.h).
+     */
+    virtual void rmwEval(std::uint64_t in, std::uint64_t result) = 0;
+    /**
+     * The in-flight RMW completed: @p old_value was read, @p new_value
+     * written (equal for a failed CAS, which stores nothing). May be
+     * reported once per rmw() only.
+     */
+    virtual void rmwResult(std::uint64_t old_value,
+                           std::uint64_t new_value) = 0;
+    virtual void idle(sim::Tick cycles) = 0;
+    virtual void fence() = 0;
+    /** Sync annotation from the workload sync library (SyncNote). */
+    virtual void sync(SyncNote kind, sim::Addr addr, sim::Tick now) = 0;
+};
+
+} // namespace widir::cpu
+
+#endif // WIDIR_CPU_OP_SINK_H

@@ -47,6 +47,14 @@ class Thread
     sim::Rng &rng() { return core_.rng(); }
     Core &core() { return core_; }
 
+    /**
+     * Volunteer a synchronization annotation to the core's OpSink (a
+     * no-op without one). The workload sync library calls this when a
+     * primitive completes so a recorded trace carries the inter-thread
+     * ordering constraints replay must preserve (docs/FRONTEND.md).
+     */
+    void note(SyncNote kind, Addr addr = 0) { core_.noteSync(kind, addr); }
+
     // -- awaitables ----------------------------------------------------
 
     /** Non-blocking: @p n ALU instructions. */

@@ -1,0 +1,580 @@
+#include "frontend/frontend.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <tuple>
+
+#include "sim/log.h"
+
+namespace widir::frontend {
+
+namespace {
+
+/**
+ * Reconstruct a recorded RMW's modify function for replay.
+ *
+ * The common case carries only the committed (old, new) pair: old ==
+ * new is the protocol's no-op discriminator (a failed CAS stores and
+ * broadcasts nothing), so it replays as identity; otherwise the
+ * recorded old value maps to the recorded new one and any other input
+ * (impossible in a faithful replay) degrades to a no-op rather than
+ * writing a wrong value.
+ *
+ * An RMW whose wireless broadcast was squashed by a remote update also
+ * carries the speculative evaluations the L1 performed before the
+ * retry (mtrace.h); those must reproduce exactly or the replay never
+ * queues the colliding frame the recording saw. The table keeps the
+ * function pure -- one output per input -- as the L1 requires.
+ */
+std::function<std::uint64_t(std::uint64_t)>
+replayModify(const Op &op)
+{
+    if (op.evals.empty())
+    {
+        if (op.a == op.b)
+            return [](std::uint64_t v) { return v; };
+        return [a = op.a, b = op.b](std::uint64_t v) {
+            return v == a ? b : v;
+        };
+    }
+    auto table = std::make_shared<
+        std::vector<std::pair<std::uint64_t, std::uint64_t>>>(
+        op.evals);
+    table->emplace_back(op.a, op.b);
+    return [table](std::uint64_t v) {
+        for (const auto &[in, result] : *table)
+        {
+            if (in == v)
+                return result;
+        }
+        return v;
+    };
+}
+
+} // namespace
+
+const char *
+frontendKindName(FrontendKind kind)
+{
+    switch (kind)
+    {
+    case FrontendKind::Coroutine:
+        return "coroutine";
+    case FrontendKind::Record:
+        return "record";
+    case FrontendKind::ReplayFull:
+        return "replay-full";
+    case FrontendKind::ReplayFast:
+        return "replay-fast";
+    }
+    return "?";
+}
+
+bool
+parseFrontendKind(std::string_view name, FrontendKind &out)
+{
+    for (FrontendKind k :
+         {FrontendKind::Coroutine, FrontendKind::Record,
+          FrontendKind::ReplayFull, FrontendKind::ReplayFast})
+    {
+        if (name == frontendKindName(k))
+        {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// ReplayGate
+// ---------------------------------------------------------------------
+
+ReplayGate::ReplayGate(const MemTrace &trace)
+{
+    for (std::uint32_t tid = 0; tid < trace.numThreads(); ++tid)
+    {
+        std::uint64_t idx = 0;
+        for (const Op &op : trace.threads[tid])
+        {
+            if (op.kind == OpKind::Sync)
+                order_.push_back({op.a, tid, idx++});
+        }
+    }
+    std::sort(order_.begin(), order_.end(),
+              [](const Token &a, const Token &b) {
+                  return std::tie(a.key, a.tid, a.idx) <
+                         std::tie(b.key, b.tid, b.idx);
+              });
+}
+
+bool
+ReplayGate::tryPass(std::uint32_t tid)
+{
+    if (next_ < order_.size() && order_[next_].tid == tid)
+    {
+        ++next_;
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Trace validation
+// ---------------------------------------------------------------------
+
+std::string
+validateTrace(const MemTrace &trace, std::uint32_t num_cores)
+{
+    if (trace.numThreads() == 0)
+        return "trace has no threads";
+    if (trace.numThreads() > num_cores)
+        return "trace has " + std::to_string(trace.numThreads()) +
+               " threads but the machine has only " +
+               std::to_string(num_cores) + " cores";
+    if (trace.header.hasMachine &&
+        trace.numThreads() != trace.header.cores)
+        return "trace machine header says " +
+               std::to_string(trace.header.cores) +
+               " cores but the trace carries " +
+               std::to_string(trace.numThreads()) + " op streams";
+    // Non-monotone per-thread sync keys would deadlock the ReplayGate
+    // (a thread can only offer its tokens in program order).
+    for (std::uint32_t tid = 0; tid < trace.numThreads(); ++tid)
+    {
+        std::uint64_t prev = 0;
+        bool first = true;
+        for (const Op &op : trace.threads[tid])
+        {
+            if (op.kind != OpKind::Sync)
+                continue;
+            if (!first && op.a < prev)
+                return "thread " + std::to_string(tid) +
+                       ": sync keys not non-decreasing (" +
+                       std::to_string(op.a) + " after " +
+                       std::to_string(prev) + ")";
+            prev = op.a;
+            first = false;
+        }
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Full-fidelity replay program
+// ---------------------------------------------------------------------
+
+cpu::Program
+makeReplayProgram(const MemTrace &trace, ReplayGate *gate)
+{
+    const MemTrace *tr = &trace;
+    return [tr, gate](cpu::Thread &t) -> cpu::Task {
+        static const std::vector<Op> kEmpty;
+        const std::vector<Op> &ops = t.id() < tr->threads.size()
+                                         ? tr->threads[t.id()]
+                                         : kEmpty;
+        for (std::size_t i = 0; i < ops.size(); ++i)
+        {
+            const Op &op = ops[i];
+            switch (op.kind)
+            {
+            case OpKind::Compute:
+                co_await t.compute(op.a);
+                break;
+            case OpKind::Load:
+                co_await t.load(op.addr);
+                break;
+            case OpKind::LoadNb:
+                co_await t.loadNb(op.addr);
+                break;
+            case OpKind::Store:
+                co_await t.store(op.addr, op.a);
+                break;
+            case OpKind::Rmw:
+                // Reconstruct the recorded modify from its recorded
+                // evaluations (replayModify above).
+                co_await t.rmw(op.addr, replayModify(op));
+                break;
+            case OpKind::Idle:
+                co_await t.idle(op.a);
+                break;
+            case OpKind::Fence:
+                co_await t.fence();
+                break;
+            case OpKind::Sync:
+                // Recorded traces: pure annotation, the replayed
+                // timing already reproduces the ordering. Headerless
+                // text traces: serialize through the gate.
+                if (gate != nullptr)
+                {
+                    for (;;)
+                    {
+                        if (gate->tryPass(t.id()))
+                            break;
+                        co_await t.idle(16);
+                    }
+                }
+                break;
+            }
+        }
+    };
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Coroutine frontend (also hosts Record and ReplayFull)
+// ---------------------------------------------------------------------
+
+class CoroutineFrontend final : public Frontend
+{
+  public:
+    CoroutineFrontend(FrontendKind kind, sim::Simulator &sim,
+                      const std::vector<coherence::L1Controller *> &l1s,
+                      const cpu::CoreConfig &core_cfg,
+                      const MemTrace *trace)
+        : kind_(kind), trace_(trace)
+    {
+        const auto n = static_cast<std::uint32_t>(l1s.size());
+        if (kind_ == FrontendKind::Record)
+            recorder_ = std::make_unique<Recorder>(n);
+        if (kind_ == FrontendKind::ReplayFull && trace_ != nullptr &&
+            !trace_->header.hasMachine && trace_->hasSync())
+            gate_ = std::make_unique<ReplayGate>(*trace_);
+        cores_.reserve(n);
+        for (sim::NodeId node = 0; node < n; ++node)
+        {
+            cores_.push_back(std::make_unique<cpu::Core>(
+                sim, *l1s[node], node, core_cfg));
+            if (recorder_)
+                cores_.back()->setOpSink(&recorder_->sink(node));
+        }
+    }
+
+    FrontendKind kind() const override { return kind_; }
+
+    void
+    start(const cpu::Program &program) override
+    {
+        cpu::Program p = program;
+        if (kind_ == FrontendKind::ReplayFull)
+        {
+            WIDIR_ASSERT(trace_ != nullptr,
+                         "replay frontend without a trace");
+            p = makeReplayProgram(*trace_, gate_.get());
+        }
+        WIDIR_ASSERT(static_cast<bool>(p),
+                     "coroutine frontend started without a program");
+        const auto n = static_cast<std::uint32_t>(cores_.size());
+        for (auto &core : cores_)
+            core->start(p, n, 0);
+    }
+
+    bool
+    allFinished() const override
+    {
+        for (const auto &core : cores_)
+            if (!core->finished())
+                return false;
+        return true;
+    }
+
+    sim::Tick
+    finishTick() const override
+    {
+        sim::Tick end = 0;
+        for (const auto &core : cores_)
+            end = std::max(end, core->finishTick());
+        return end;
+    }
+
+    cpu::Core::Stats
+    cpuTotals() const override
+    {
+        cpu::Core::Stats total;
+        for (const auto &core : cores_)
+        {
+            const auto &s = core->stats();
+            total.instructions += s.instructions;
+            total.loads += s.loads;
+            total.stores += s.stores;
+            total.rmws += s.rmws;
+            total.memStallCycles += s.memStallCycles;
+            total.loadLatencySum += s.loadLatencySum;
+            total.storeLatencySum += s.storeLatencySum;
+        }
+        return total;
+    }
+
+    cpu::Core *
+    core(sim::NodeId n) override
+    {
+        return cores_.at(n).get();
+    }
+
+    Recorder *recorder() override { return recorder_.get(); }
+
+  private:
+    FrontendKind kind_;
+    const MemTrace *trace_;
+    // Cores hold the replay coroutines, which reference the gate:
+    // declare the gate first so the cores are destroyed before it.
+    std::unique_ptr<ReplayGate> gate_;
+    std::unique_ptr<Recorder> recorder_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+};
+
+// ---------------------------------------------------------------------
+// Fast direct-to-L1 replay
+// ---------------------------------------------------------------------
+
+/**
+ * Drives each tile's op stream straight into its L1 controller with a
+ * small window of outstanding operations, skipping the ROB/retirement
+ * model entirely. RMWs and fences drain the window first (atomics
+ * fence the stream, as in the core model); Idle records are skipped;
+ * Sync records serialize through the ReplayGate.
+ */
+class DirectReplayFrontend final : public Frontend
+{
+  public:
+    DirectReplayFrontend(
+        sim::Simulator &sim,
+        const std::vector<coherence::L1Controller *> &l1s,
+        const MemTrace *trace)
+        : sim_(sim), trace_(trace), gate_(*trace)
+    {
+        // The tiles share the gate and the aggregate stats; the domain
+        // kernel would run them from different host threads.
+        WIDIR_ASSERT(!sim.domainMode(),
+                     "fast replay requires the classic kernel "
+                     "(sim-threads 0)");
+        tiles_.resize(l1s.size());
+        for (std::size_t i = 0; i < l1s.size(); ++i)
+        {
+            tiles_[i].l1 = l1s[i];
+            tiles_[i].ops = i < trace_->threads.size()
+                                ? &trace_->threads[i]
+                                : nullptr;
+        }
+    }
+
+    FrontendKind kind() const override
+    {
+        return FrontendKind::ReplayFast;
+    }
+
+    void
+    start(const cpu::Program &) override
+    {
+        for (std::size_t i = 0; i < tiles_.size(); ++i)
+        {
+            Tile &t = tiles_[i];
+            if (t.ops == nullptr || t.ops->empty())
+            {
+                t.finished = true;
+                ++finished_;
+                continue;
+            }
+            t.l1->setCompletion(
+                [this, i](std::uint64_t, std::uint64_t) {
+                    onComplete(i);
+                });
+            sim_.scheduleForNodeAt(static_cast<sim::NodeId>(i), 0,
+                                   [this, i] { pump(i); });
+        }
+    }
+
+    bool
+    allFinished() const override
+    {
+        return finished_ == tiles_.size();
+    }
+
+    sim::Tick finishTick() const override { return finishTick_; }
+
+    cpu::Core::Stats cpuTotals() const override { return stats_; }
+
+    cpu::Core *core(sim::NodeId) override { return nullptr; }
+
+    Recorder *recorder() override { return nullptr; }
+
+  private:
+    struct Tile
+    {
+        coherence::L1Controller *l1 = nullptr;
+        const std::vector<Op> *ops = nullptr;
+        std::size_t next = 0;
+        std::uint32_t outstanding = 0;
+        std::uint64_t tokenNext = 1;
+        bool atSync = false;
+        bool finished = false;
+    };
+
+    static constexpr std::uint32_t kWindow = 8;
+
+    void
+    onComplete(std::size_t i)
+    {
+        Tile &t = tiles_[i];
+        WIDIR_ASSERT(t.outstanding > 0, "fast replay drain underflow");
+        --t.outstanding;
+        pump(i);
+    }
+
+    void
+    finishTile(Tile &t)
+    {
+        t.finished = true;
+        ++finished_;
+        finishTick_ = std::max(finishTick_, sim_.now());
+    }
+
+    void
+    scheduleWake()
+    {
+        if (wakeScheduled_)
+            return;
+        wakeScheduled_ = true;
+        sim_.scheduleInline(0, [this] { gateWake(); });
+    }
+
+    /** Wake parked tiles whose gate turn has arrived, to fixpoint. */
+    void
+    gateWake()
+    {
+        wakeScheduled_ = false;
+        bool progress = true;
+        while (progress)
+        {
+            progress = false;
+            for (std::size_t i = 0; i < tiles_.size(); ++i)
+            {
+                Tile &t = tiles_[i];
+                if (t.atSync &&
+                    gate_.tryPass(static_cast<std::uint32_t>(i)))
+                {
+                    t.atSync = false;
+                    ++t.next;
+                    progress = true;
+                    pump(i);
+                }
+            }
+        }
+    }
+
+    void
+    pump(std::size_t i)
+    {
+        Tile &t = tiles_[i];
+        if (t.finished || t.atSync)
+            return;
+        const std::vector<Op> &ops = *t.ops;
+        for (;;)
+        {
+            if (t.next >= ops.size())
+            {
+                if (t.outstanding == 0)
+                    finishTile(t);
+                return;
+            }
+            const Op &op = ops[t.next];
+            switch (op.kind)
+            {
+            case OpKind::Compute:
+                stats_.instructions += op.a;
+                ++t.next;
+                continue;
+            case OpKind::Idle:
+                // Fast mode models no pipeline pauses.
+                ++t.next;
+                continue;
+            case OpKind::Load:
+            case OpKind::LoadNb:
+                if (t.outstanding >= kWindow)
+                    return;
+                ++stats_.loads;
+                ++stats_.instructions;
+                ++t.next;
+                ++t.outstanding;
+                t.l1->read(op.addr, t.tokenNext++);
+                continue;
+            case OpKind::Store:
+                if (t.outstanding >= kWindow)
+                    return;
+                ++stats_.stores;
+                ++stats_.instructions;
+                ++t.next;
+                ++t.outstanding;
+                t.l1->write(op.addr, op.a, t.tokenNext++);
+                continue;
+            case OpKind::Rmw:
+            {
+                if (t.outstanding != 0)
+                    return; // atomics fence the stream
+                ++stats_.rmws;
+                ++stats_.instructions;
+                ++t.next;
+                ++t.outstanding;
+                t.l1->rmw(op.addr, replayModify(op), t.tokenNext++);
+                return; // serialized: resume from the completion
+            }
+            case OpKind::Fence:
+                if (t.outstanding != 0)
+                    return;
+                ++t.next;
+                continue;
+            case OpKind::Sync:
+                if (t.outstanding != 0)
+                    return; // publish prior ops before the token
+                if (!gate_.tryPass(static_cast<std::uint32_t>(i)))
+                {
+                    t.atSync = true;
+                    return;
+                }
+                ++t.next;
+                scheduleWake();
+                continue;
+            }
+        }
+    }
+
+    sim::Simulator &sim_;
+    const MemTrace *trace_;
+    ReplayGate gate_;
+    std::vector<Tile> tiles_;
+    std::size_t finished_ = 0;
+    sim::Tick finishTick_ = 0;
+    cpu::Core::Stats stats_;
+    bool wakeScheduled_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<Frontend>
+makeFrontend(const FrontendSpec &spec, sim::Simulator &sim,
+             const std::vector<coherence::L1Controller *> &l1s,
+             const cpu::CoreConfig &core_cfg)
+{
+    switch (spec.kind)
+    {
+    case FrontendKind::Coroutine:
+    case FrontendKind::Record:
+    case FrontendKind::ReplayFull:
+        if (spec.kind == FrontendKind::ReplayFull)
+            WIDIR_ASSERT(spec.trace != nullptr,
+                         "replay-full frontend needs a trace");
+        return std::make_unique<CoroutineFrontend>(
+            spec.kind, sim, l1s, core_cfg, spec.trace);
+    case FrontendKind::ReplayFast:
+        WIDIR_ASSERT(spec.trace != nullptr,
+                     "replay-fast frontend needs a trace");
+        return std::make_unique<DirectReplayFrontend>(sim, l1s,
+                                                      spec.trace);
+    }
+    sim::fatal("unknown frontend kind");
+    return nullptr;
+}
+
+} // namespace widir::frontend

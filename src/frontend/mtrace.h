@@ -1,0 +1,162 @@
+/**
+ * @file
+ * widir-mtrace-v1: the versioned, compact binary memory-trace format
+ * the recording frontend writes and the replay frontends consume, plus
+ * the text-trace ingestion parser for externally recorded traces.
+ * The byte-level layout and the fidelity contract of each consumer are
+ * specified in docs/FRONTEND.md.
+ *
+ * A trace is one op stream per thread. Record kinds (OpKind) mirror
+ * the Thread awaitables one-to-one, so full-fidelity replay re-drives
+ * the core timing model through the identical call sequence; Sync
+ * records carry the annotations the workload sync library volunteers
+ * so the fast direct-to-L1 replayer can preserve inter-thread ordering
+ * constraints without a core model.
+ */
+
+#ifndef WIDIR_FRONTEND_MTRACE_H
+#define WIDIR_FRONTEND_MTRACE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpu/op_sink.h"
+#include "sim/types.h"
+
+namespace widir::frontend {
+
+/** One record of a per-thread op stream (docs/FRONTEND.md). */
+enum class OpKind : std::uint8_t
+{
+    Compute, ///< operand: instruction count
+    Load,    ///< blocking load; operand: address
+    LoadNb,  ///< non-blocking load; operand: address
+    Store,   ///< operands: address, value
+    Rmw,     ///< operands: address, old value, new value
+    Idle,    ///< operand: pause cycles (no retired instructions)
+    Fence,   ///< no operands
+    Sync,    ///< operands: SyncNote kind, address, ordering key
+};
+
+/** Number of OpKind enumerators (reader-side validation). */
+inline constexpr std::uint8_t kOpKindCount = 8;
+
+/** One decoded record. Field use per kind is documented on OpKind. */
+struct Op
+{
+    OpKind kind = OpKind::Compute;
+    cpu::SyncNote sync = cpu::SyncNote::External; ///< Sync records only
+    sim::Addr addr = 0;
+    std::uint64_t a = 0; ///< count | value | old value | cycles | key
+    std::uint64_t b = 0; ///< Rmw: new value
+
+    /**
+     * Rmw only: modify-function evaluations the L1 performed on values
+     * OTHER than the final old value `a` (input -> output, input
+     * values distinct). The wireless RMW path may evaluate the modify
+     * function speculatively at issue time, get squashed by a remote
+     * update, and retry against a new line value; the final (a, b)
+     * pair alone cannot reproduce the speculative broadcast decision,
+     * so full-fidelity replay needs every distinct evaluation. Empty
+     * for the overwhelming majority of RMWs (no squash).
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> evals;
+
+    bool
+    operator==(const Op &o) const
+    {
+        return kind == o.kind && sync == o.sync && addr == o.addr &&
+               a == o.a && b == o.b && evals == o.evals;
+    }
+};
+
+/**
+ * Machine configuration embedded in a recorded trace so a replay run
+ * can reconstruct the exact recorded experiment (hasMachine == true).
+ * Traces ingested from the text format carry no machine header: the
+ * replaying spec supplies the machine instead.
+ */
+struct TraceHeader
+{
+    bool hasMachine = false;
+    std::string app;         ///< recorded app name (result echo)
+    std::uint8_t protocol = 0;
+    std::uint8_t homeMap = 0;
+    std::uint32_t cores = 0;
+    std::uint32_t scale = 1;
+    std::uint32_t maxWiredSharers = 3;
+    std::uint32_t updateCountThreshold = 0;
+    std::uint32_t meshConcentration = 1;
+    std::uint32_t wirelessChannels = 1;
+    std::uint64_t seed = 1;
+};
+
+/** A parsed memory trace: header + one op stream per thread. */
+struct MemTrace
+{
+    TraceHeader header;
+    std::vector<std::vector<Op>> threads;
+
+    std::uint32_t
+    numThreads() const
+    {
+        return static_cast<std::uint32_t>(threads.size());
+    }
+
+    /** Total records across all threads. */
+    std::uint64_t
+    totalOps() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &ops : threads)
+            n += ops.size();
+        return n;
+    }
+
+    /** True when any thread carries a Sync record. */
+    bool hasSync() const;
+};
+
+/**
+ * Write @p trace to @p path in widir-mtrace-v1. Returns false (with a
+ * message in @p err) on I/O failure.
+ */
+bool writeMtrace(const std::string &path, const MemTrace &trace,
+                 std::string &err);
+
+/**
+ * Read a widir-mtrace-v1 file. Strict: a bad magic, an unsupported
+ * version, an unknown record kind, or a truncated stream is rejected
+ * with a message in @p err -- never silently repaired.
+ */
+bool readMtrace(const std::string &path, MemTrace &out,
+                std::string &err);
+
+/**
+ * Parse the text ingestion format (docs/FRONTEND.md):
+ *
+ *   # comment (blank lines ignored)
+ *   <thread> R <addr>
+ *   <thread> W <addr> [value]
+ *   <thread> S <seq>        # optional sync-event extension
+ *
+ * Numbers are decimal or 0x-hex. The resulting trace has no machine
+ * header (header.hasMachine == false); numThreads() is max thread id
+ * + 1. Strict like parseEnvInt: any malformed line fails the whole
+ * parse with a line-numbered message in @p err.
+ */
+bool parseTextTrace(const std::string &text, MemTrace &out,
+                    std::string &err);
+
+/**
+ * Load a trace file of either format: widir-mtrace-v1 when the file
+ * starts with the binary magic, the text format otherwise.
+ */
+bool loadTraceFile(const std::string &path, MemTrace &out,
+                   std::string &err);
+
+} // namespace widir::frontend
+
+#endif // WIDIR_FRONTEND_MTRACE_H

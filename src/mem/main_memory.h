@@ -127,6 +127,9 @@ class MainMemory
     std::uint64_t reads() const { return reads_; }
     std::uint64_t writes() const { return writes_; }
 
+    /** Backing-store index rehashes (host_map_rehashes, docs/PERF.md). */
+    std::uint64_t mapRehashes() const { return store_.rehashes(); }
+
   private:
     /** Queue at the owning controller and return total latency. */
     Tick

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "frontend/mtrace.h"
 #include "sim/log.h"
 #include "system/checker.h"
 #include "system/manycore.h"
@@ -89,6 +90,30 @@ ExperimentSpec::validate() const
         add("meshConcentration must divide cores");
     if (wirelessChannels == 0)
         add("wirelessChannels must be positive");
+    const bool is_replay =
+        frontend == frontend::FrontendKind::ReplayFull ||
+        frontend == frontend::FrontendKind::ReplayFast;
+    const bool trace_app = app != nullptr && app->traceSource != nullptr;
+    if (frontend == frontend::FrontendKind::Record) {
+        if (recordPath.empty())
+            add("frontend=record needs a recordPath");
+        if (trace_app)
+            add("cannot record a trace-driven app (it has no kernel)");
+    } else if (!recordPath.empty()) {
+        add("recordPath set but frontend is not record");
+    }
+    if (is_replay) {
+        if (replayPath.empty() && !trace_app)
+            add("replay frontend needs a replayPath "
+                "(or a trace-driven app)");
+    } else if (!replayPath.empty()) {
+        add("replayPath set but frontend is not a replay kind");
+    }
+    if (trace_app && !replayPath.empty())
+        add("trace-driven app already supplies its trace; "
+            "replayPath must be empty");
+    if (app != nullptr && app->kernel == nullptr && !trace_app)
+        add("app has neither a kernel nor a trace source");
     add(trace.validate());
     add(fault.validate());
     return err;
@@ -155,27 +180,91 @@ runExperiment(const ExperimentSpec &spec)
 {
     if (std::string err = spec.validate(); !err.empty())
         sim::fatal("invalid ExperimentSpec: %s", err.c_str());
-    SystemConfig cfg =
-        spec.protocol == coherence::Protocol::WiDir
-            ? SystemConfig::widir(spec.cores)
-            : SystemConfig::baseline(spec.cores);
-    cfg.seed = spec.seed;
-    cfg.protocol.maxWiredSharers = spec.maxWiredSharers;
-    if (spec.updateCountThreshold > 0)
-        cfg.protocol.updateCountThreshold = spec.updateCountThreshold;
+
+    // Resolve the effective frontend: a trace-driven app upgrades the
+    // default Coroutine frontend to full-fidelity replay of its trace.
+    frontend::FrontendKind fk = spec.frontend;
+    std::string replay_path = spec.replayPath;
+    if (spec.app->traceSource != nullptr) {
+        replay_path = spec.app->traceSource->path;
+        if (fk == frontend::FrontendKind::Coroutine)
+            fk = frontend::FrontendKind::ReplayFull;
+    }
+    const bool is_replay = fk == frontend::FrontendKind::ReplayFull ||
+                           fk == frontend::FrontendKind::ReplayFast;
+
+    // Effective machine knobs: the spec's, unless a replayed trace
+    // carries the recorded machine -- then the recording wins so the
+    // replay reproduces the recorded run (docs/FRONTEND.md).
+    std::string app_name = spec.app->name;
+    coherence::Protocol protocol = spec.protocol;
+    std::uint32_t cores = spec.cores;
+    std::uint32_t scale = spec.scale;
+    std::uint64_t seed = spec.seed;
+    std::uint32_t max_wired = spec.maxWiredSharers;
+    std::uint32_t uct = spec.updateCountThreshold;
+    std::uint32_t mesh_conc = spec.meshConcentration;
+    std::uint32_t wchan = spec.wirelessChannels;
+    mem::HomeMap home_map = spec.homeMap;
+
+    frontend::MemTrace trace;
+    if (is_replay) {
+        std::string terr;
+        if (!frontend::loadTraceFile(replay_path, trace, terr))
+            sim::fatal("experiment %s: %s", app_name.c_str(),
+                       terr.c_str());
+        if (trace.header.hasMachine) {
+            const frontend::TraceHeader &h = trace.header;
+            app_name = h.app;
+            protocol = static_cast<coherence::Protocol>(h.protocol);
+            home_map = static_cast<mem::HomeMap>(h.homeMap);
+            cores = h.cores;
+            scale = h.scale;
+            seed = h.seed;
+            max_wired = h.maxWiredSharers;
+            uct = h.updateCountThreshold;
+            mesh_conc = h.meshConcentration;
+            wchan = h.wirelessChannels;
+        }
+        if (std::string verr = frontend::validateTrace(trace, cores);
+            !verr.empty())
+            sim::fatal("experiment %s: %s", app_name.c_str(),
+                       verr.c_str());
+    }
+
+    SystemConfig cfg = protocol == coherence::Protocol::WiDir
+        ? SystemConfig::widir(cores)
+        : SystemConfig::baseline(cores);
+    cfg.seed = seed;
+    cfg.protocol.maxWiredSharers = max_wired;
+    if (uct > 0)
+        cfg.protocol.updateCountThreshold = uct;
     // Table VI sweeps the threshold; the paper's constraint is
     // MaxWiredSharers <= sharer pointers, so grow Dir_iB accordingly.
     cfg.protocol.dirPointers =
-        std::max(cfg.protocol.dirPointers, spec.maxWiredSharers);
+        std::max(cfg.protocol.dirPointers, max_wired);
     cfg.fault = spec.fault;
     cfg.simThreads = resolveSimThreads(spec.simThreads);
-    cfg.mesh.concentration = spec.meshConcentration;
-    cfg.wnoc.numChannels = spec.wirelessChannels;
-    cfg.protocol.homeMap = spec.homeMap;
+    // The fast replayer's gate and stats -- and full replay's gate for
+    // headerless synced traces -- are shared across every tile, so
+    // those modes require the classic single-queue kernel.
+    if (fk == frontend::FrontendKind::ReplayFast ||
+        (fk == frontend::FrontendKind::ReplayFull &&
+         !trace.header.hasMachine && trace.hasSync()))
+        cfg.simThreads = 0;
+    cfg.mesh.concentration = mesh_conc;
+    cfg.wnoc.numChannels = wchan;
+    cfg.protocol.homeMap = home_map;
 
     Manycore m(cfg);
+    if (fk != frontend::FrontendKind::Coroutine) {
+        frontend::FrontendSpec fs;
+        fs.kind = fk;
+        fs.trace = is_replay ? &trace : nullptr;
+        m.installFrontend(fs);
+    }
     workload::WorkloadParams params;
-    params.scale = spec.scale;
+    params.scale = scale;
 
     // Tracing: a ring buffer always feeds the legality checker; the
     // Chrome exporter is attached only when an output path was given.
@@ -195,19 +284,26 @@ runExperiment(const ExperimentSpec &spec)
     }
 
     ExperimentResult r;
-    r.app = spec.app->name;
-    r.protocol = spec.protocol;
-    r.cores = spec.cores;
-    r.seed = spec.seed;
-    r.scale = spec.scale;
-    r.maxWiredSharers = spec.maxWiredSharers;
+    r.app = app_name;
+    r.protocol = protocol;
+    r.cores = cores;
+    r.seed = seed;
+    r.scale = scale;
+    r.maxWiredSharers = max_wired;
     r.updateCountThreshold = cfg.protocol.updateCountThreshold;
-    r.meshConcentration = spec.meshConcentration;
-    r.wirelessChannels = spec.wirelessChannels;
-    r.homeMap = spec.homeMap;
+    r.meshConcentration = mesh_conc;
+    r.wirelessChannels = wchan;
+    r.homeMap = home_map;
+    r.frontendKind = fk;
+    r.recordPath = spec.recordPath;
+    r.replayPath = is_replay ? replay_path : std::string();
+    // The replay frontends ignore the program; a trace app has no
+    // kernel to wrap, so only build one when it will actually run.
+    cpu::Program program;
+    if (!is_replay)
+        program = workload::makeProgram(*spec.app, params);
     auto host_start = std::chrono::steady_clock::now();
-    r.cycles = m.run(workload::makeProgram(*spec.app, params),
-                     2'000'000'000ull);
+    r.cycles = m.run(program, 2'000'000'000ull);
     std::chrono::duration<double> host_elapsed =
         std::chrono::steady_clock::now() - host_start;
     r.executedEvents = m.simulator().executedEvents();
@@ -215,11 +311,33 @@ runExperiment(const ExperimentSpec &spec)
     r.hostEventsPerSec = r.hostSeconds > 0.0
         ? static_cast<double>(r.executedEvents) / r.hostSeconds
         : 0.0;
+    r.hostMsgpoolGrew = m.hostMsgpoolGrew();
+    r.hostMapRehashes = m.hostMapRehashes();
+
+    if (fk == frontend::FrontendKind::Record) {
+        frontend::TraceHeader h;
+        h.hasMachine = true;
+        h.app = app_name;
+        h.protocol = static_cast<std::uint8_t>(protocol);
+        h.homeMap = static_cast<std::uint8_t>(home_map);
+        h.cores = cores;
+        h.scale = scale;
+        h.maxWiredSharers = max_wired;
+        h.updateCountThreshold = cfg.protocol.updateCountThreshold;
+        h.meshConcentration = mesh_conc;
+        h.wirelessChannels = wchan;
+        h.seed = seed;
+        frontend::MemTrace rec = m.frontend()->recorder()->finish(h);
+        std::string werr;
+        if (!frontend::writeMtrace(spec.recordPath, rec, werr))
+            sim::fatal("experiment %s: %s", app_name.c_str(),
+                       werr.c_str());
+    }
 
     auto violations = checkCoherence(m);
     if (!violations.empty()) {
         sim::fatal("experiment %s left the machine incoherent: %s",
-                   spec.app->name, violations.front().c_str());
+                   app_name.c_str(), violations.front().c_str());
     }
 
     if (spec.trace.enabled) {
@@ -231,7 +349,7 @@ runExperiment(const ExperimentSpec &spec)
         auto trace_violations = checkTraceLegality(ring, strict);
         if (!trace_violations.empty()) {
             sim::fatal("experiment %s produced an illegal trace: %s",
-                       spec.app->name,
+                       app_name.c_str(),
                        trace_violations.front().c_str());
         }
         if (chrome)
@@ -251,7 +369,7 @@ runExperiment(const ExperimentSpec &spec)
     r.writeMisses = l1.writeMisses;
     r.memStallCycles = cpu.memStallCycles;
     r.totalCoreCycles =
-        static_cast<std::uint64_t>(r.cycles) * spec.cores;
+        static_cast<std::uint64_t>(r.cycles) * cores;
     r.loadLatencySum = cpu.loadLatencySum;
     r.storeLatencySum = cpu.storeLatencySum;
 
@@ -283,7 +401,7 @@ runExperiment(const ExperimentSpec &spec)
 
     energy::EnergyInputs ein;
     ein.cycles = r.cycles;
-    ein.numCores = spec.cores;
+    ein.numCores = cores;
     ein.instructions = cpu.instructions;
     ein.l1Accesses = l1.loads + l1.stores + l1.rmws;
     ein.l2Accesses = dir.dirAccesses;

@@ -20,6 +20,7 @@
 #include "core/protocol_config.h"
 #include "energy/energy_model.h"
 #include "fault/fault.h"
+#include "frontend/frontend.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 #include "workload/params.h"
@@ -122,12 +123,29 @@ struct ExperimentResult
     /// @name Host performance (docs/PERF.md)
     ///
     /// executedEvents is deterministic for a given configuration; the
-    /// host_* figures are wall-clock measurements and vary from run to
-    /// run (strip them before diffing sweep outputs for bit-identity).
+    /// host_* figures are wall-clock or host-allocator measurements
+    /// and are stripped before diffing sweep outputs for bit-identity
+    /// (the watermarks are deterministic, but they describe the host
+    /// process, not the simulated machine).
     /// @{
     std::uint64_t executedEvents = 0; ///< simulator events run
     double hostSeconds = 0.0;         ///< wall time of the run() call
     double hostEventsPerSec = 0.0;    ///< executedEvents / hostSeconds
+    std::uint64_t hostMsgpoolGrew = 0;  ///< MsgPool growth past reserve
+    std::uint64_t hostMapRehashes = 0;  ///< FlatAddrMap index rehashes
+    /// @}
+
+    /// @name Frontend echo (docs/FRONTEND.md)
+    ///
+    /// Serialized into widir-sweep-v1 as a "frontend" object only when
+    /// the run used a non-default stimulus source, so classic sweeps
+    /// stay byte-identical to documents written before frontends
+    /// existed.
+    /// @{
+    frontend::FrontendKind frontendKind =
+        frontend::FrontendKind::Coroutine;
+    std::string recordPath; ///< mtrace written (Record only)
+    std::string replayPath; ///< trace replayed (Replay* only)
     /// @}
 };
 
@@ -201,6 +219,32 @@ struct ExperimentSpec
      * selects an execution strategy, not an experiment.
      */
     unsigned simThreads = 0;
+
+    /// @name Frontend selection (docs/FRONTEND.md)
+    /// @{
+    /**
+     * Stimulus source. Coroutine (default) runs the app's kernel on
+     * the core model; Record does the same while writing a
+     * widir-mtrace-v1 op stream to recordPath; the replay kinds drive
+     * the machine from replayPath (or the app's trace source). An app
+     * registered from an external trace (registerTraceApp /
+     * `--trace-in`) auto-upgrades Coroutine to ReplayFull. When a
+     * replayed trace carries a machine header, its machine knobs
+     * (protocol, cores, seed, scale, sharer limits, topology) override
+     * this spec so the replayed run reproduces the recorded one.
+     */
+    frontend::FrontendKind frontend =
+        frontend::FrontendKind::Coroutine;
+
+    /** widir-mtrace-v1 output path; required iff frontend is Record. */
+    std::string recordPath;
+
+    /**
+     * Trace input path (mtrace or text format); required for the
+     * replay kinds unless the app itself is trace-driven.
+     */
+    std::string replayPath;
+    /// @}
 
     /** Empty when runnable, else a "; "-joined problem list. */
     std::string validate() const;

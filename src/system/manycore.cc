@@ -74,45 +74,68 @@ Manycore::Manycore(const SystemConfig &cfg) : cfg_(cfg)
         }
     }
 
-    for (sim::NodeId n = 0; n < cfg_.numCores; ++n) {
-        cores_.push_back(std::make_unique<cpu::Core>(
-            *sim_, *l1s_[n], n, cfg_.core));
-    }
 }
 
 Manycore::~Manycore() = default;
 
+void
+Manycore::installFrontend(const frontend::FrontendSpec &spec)
+{
+    WIDIR_ASSERT(!frontend_, "frontend installed twice");
+    std::vector<coherence::L1Controller *> l1_ptrs;
+    l1_ptrs.reserve(l1s_.size());
+    for (const auto &l1 : l1s_)
+        l1_ptrs.push_back(l1.get());
+    frontend_ =
+        frontend::makeFrontend(spec, *sim_, l1_ptrs, cfg_.core);
+}
+
+cpu::Core &
+Manycore::core(sim::NodeId n)
+{
+    WIDIR_ASSERT(frontend_, "no frontend installed");
+    cpu::Core *c = frontend_->core(n);
+    WIDIR_ASSERT(c != nullptr,
+                 "frontend '%s' has no core models",
+                 frontend::frontendKindName(frontend_->kind()));
+    return *c;
+}
+
 sim::Tick
 Manycore::run(const Program &program, sim::Tick watchdog_cycles)
 {
-    for (sim::NodeId n = 0; n < cfg_.numCores; ++n)
-        cores_[n]->start(program, cfg_.numCores, 0);
+    if (!frontend_)
+        installFrontend(frontend::FrontendSpec{});
+    frontend_->start(program);
     sim_->runOrDie(watchdog_cycles, "manycore program");
-    sim::Tick end = 0;
-    for (const auto &core : cores_) {
-        WIDIR_ASSERT(core->finished(),
-                     "machine quiesced with an unfinished core "
-                     "(thread deadlocked on memory values?)");
-        end = std::max(end, core->finishTick());
-    }
-    return end;
+    WIDIR_ASSERT(frontend_->allFinished(),
+                 "machine quiesced with an unfinished core "
+                 "(thread deadlocked on memory values?)");
+    return frontend_->finishTick();
 }
 
 cpu::Core::Stats
 Manycore::cpuTotals() const
 {
-    cpu::Core::Stats total;
-    for (const auto &core : cores_) {
-        const auto &s = core->stats();
-        total.instructions += s.instructions;
-        total.loads += s.loads;
-        total.stores += s.stores;
-        total.rmws += s.rmws;
-        total.memStallCycles += s.memStallCycles;
-        total.loadLatencySum += s.loadLatencySum;
-        total.storeLatencySum += s.storeLatencySum;
-    }
-    return total;
+    WIDIR_ASSERT(frontend_, "no frontend installed");
+    return frontend_->cpuTotals();
+}
+
+std::uint64_t
+Manycore::hostMsgpoolGrew() const
+{
+    return fabric_->msgPoolGrew();
+}
+
+std::uint64_t
+Manycore::hostMapRehashes() const
+{
+    std::uint64_t n = memory_->mapRehashes();
+    for (const auto &l1 : l1s_)
+        n += l1->mapRehashes();
+    for (const auto &dir : dirs_)
+        n += dir->mapRehashes();
+    return n;
 }
 
 coherence::L1Controller::Stats

@@ -27,6 +27,7 @@
 #include "cpu/task.h"
 #include "cpu/thread.h"
 #include "fault/fault.h"
+#include "frontend/frontend.h"
 #include "mem/main_memory.h"
 #include "noc/mesh.h"
 #include "sim/simulator.h"
@@ -113,12 +114,25 @@ class Manycore
     {
         return *dirs_.at(n);
     }
-    cpu::Core &core(sim::NodeId n) { return *cores_.at(n); }
+    /** Tile @p n's core model (coroutine-family frontends only). */
+    cpu::Core &core(sim::NodeId n);
     std::uint32_t numCores() const { return cfg_.numCores; }
 
     /**
+     * Select the stimulus source (docs/FRONTEND.md). Must be called
+     * before run(); without it, run() installs the default coroutine
+     * frontend -- the classic machine, byte-identical to the
+     * pre-frontend build. A FrontendSpec trace must outlive the run.
+     */
+    void installFrontend(const frontend::FrontendSpec &spec);
+
+    /** The installed frontend, or null before installation. */
+    frontend::Frontend *frontend() { return frontend_.get(); }
+
+    /**
      * Run @p program on every core (thread id == core id) until all
-     * cores finish and the machine quiesces.
+     * cores finish and the machine quiesces. Replay frontends ignore
+     * @p program and drive their installed trace instead.
      *
      * @param watchdog_cycles fatal() if the machine has not quiesced
      *        by this simulated cycle (protocol hang detector).
@@ -136,6 +150,14 @@ class Manycore
     sim::BinnedHistogram sharersUpdatedTotals() const;
     /// @}
 
+    /// @name Host allocator watermarks (docs/PERF.md)
+    /// @{
+    /** Fabric message-pool slots grown past the reserve. */
+    std::uint64_t hostMsgpoolGrew() const;
+    /** FlatAddrMap rehashes summed over L1s, directories, memory. */
+    std::uint64_t hostMapRehashes() const;
+    /// @}
+
   private:
     SystemConfig cfg_;
     std::unique_ptr<sim::Simulator> sim_;
@@ -147,7 +169,7 @@ class Manycore
     std::unique_ptr<coherence::CoherenceFabric> fabric_;
     std::vector<std::unique_ptr<coherence::DirectoryController>> dirs_;
     std::vector<std::unique_ptr<coherence::L1Controller>> l1s_;
-    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<frontend::Frontend> frontend_;
 };
 
 } // namespace widir::sys

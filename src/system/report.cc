@@ -164,11 +164,28 @@ resultToJson(const ExperimentResult &r, int indent)
         t.close();
     }
     // Host-perf block. executed_events is deterministic; the host_*
-    // wall-clock figures are not -- strip them before byte-diffing two
-    // sweeps for identity (docs/PERF.md).
+    // figures describe the host process, not the simulated machine --
+    // strip them before byte-diffing two sweeps for identity
+    // (docs/PERF.md).
     w.field("executed_events", r.executedEvents);
     w.field("host_wall_seconds", r.hostSeconds);
     w.field("host_events_per_sec", r.hostEventsPerSec);
+    w.field("host_msgpool_grew", r.hostMsgpoolGrew);
+    w.field("host_map_rehashes", r.hostMapRehashes);
+    if (r.frontendKind != frontend::FrontendKind::Coroutine) {
+        // Emitted only for a non-default stimulus source, so classic
+        // sweeps stay byte-identical to documents written before
+        // frontends existed (docs/FRONTEND.md).
+        w.key("frontend");
+        ObjectWriter f(out, indent + 2);
+        f.field("kind",
+                std::string(frontend::frontendKindName(r.frontendKind)));
+        if (!r.recordPath.empty())
+            f.field("record_path", r.recordPath);
+        if (!r.replayPath.empty())
+            f.field("replay_path", r.replayPath);
+        f.close();
+    }
     if (r.faultInjection) {
         // Emitted only when the fault layer was armed, so clean-run
         // outputs stay byte-identical to documents written before

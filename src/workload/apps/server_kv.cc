@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Server-class workload: a sharded in-memory key-value store with
+ * Zipf-skewed key popularity (the ROADMAP's first server workload).
+ *
+ * Threads issue GET/PUT requests against a shared table of value
+ * lines. Popularity follows an approximate Zipf(1) law via log-uniform
+ * rank sampling, so a handful of hot keys absorb most traffic: every
+ * core holds the hot value lines in S while the occasional PUT rewrites
+ * them -- under the baseline an invalidation storm plus a flood of
+ * re-reads, under WiDir a single broadcast update to the whole reader
+ * set. This is exactly the reader-flood/hot-line shape the wireless
+ * directory's broadcast path targets, now expressed as a server
+ * workload instead of an HPC kernel.
+ *
+ * PUTs serialize through per-shard spin locks (16 shards) and bump a
+ * per-shard op counter, adding the lock-word migration pattern of
+ * Fig. 3 at request rate.
+ */
+
+#include <cmath>
+
+#include "workload/kernels.h"
+
+#include "workload/addr_map.h"
+#include "workload/patterns.h"
+#include "workload/sync.h"
+
+namespace widir::workload::apps {
+
+using namespace pattern;
+namespace syn = ::widir::workload::sync;
+
+Task
+kvStore(Thread &t, const WorkloadParams &p)
+{
+    constexpr std::uint64_t kKeys = 256;  // value lines (slot 18)
+    constexpr std::uint64_t kShards = 16; // one spin lock per shard
+    const double log_keys = std::log(static_cast<double>(kKeys));
+    std::uint64_t ops = p.perThread(24, t.numThreads());
+    bool sense = false;
+    for (std::uint64_t op = 0; op < ops; ++op) {
+        // Zipf-ish key pick: a log-uniform rank makes P(rank) ~ 1/rank,
+        // concentrating traffic on the lowest-numbered (hot) keys.
+        std::uint64_t key = static_cast<std::uint64_t>(
+            std::exp(t.rng().real() * log_keys));
+        key = key > 0 ? key - 1 : 0;
+        if (key >= kKeys)
+            key = kKeys - 1;
+        Addr val = AddrMap::sharedArray(18) + key * mem::kLineBytes;
+
+        if (t.rng().chance(0.9)) {
+            // GET: dependent read of the value line, then serialize
+            // the response.
+            std::uint64_t v = co_await t.load(val);
+            co_await t.compute(60 + (v & 3));
+        } else {
+            // PUT: lock the key's shard, bump its op counter, rewrite
+            // the (hot) value line every reader holds in S.
+            std::uint64_t shard = key % kShards;
+            co_await syn::lockAcquire(t, AddrMap::globalLock(shard));
+            co_await t.fetchAdd(AddrMap::sharedArray(19) +
+                                    shard * mem::kLineBytes,
+                                1);
+            co_await t.store(val, op + 1);
+            co_await syn::lockRelease(t, AddrMap::globalLock(shard));
+            co_await t.compute(40);
+        }
+        // Request parsing / response buffers: private, L1-resident.
+        if ((op & 3) == 0)
+            co_await touchPrivate(t, 16, 4, 30);
+    }
+    co_await syn::globalBarrier(t, sense);
+}
+
+} // namespace widir::workload::apps

@@ -1,7 +1,8 @@
 /**
  * @file
- * Declarations of the 20 application kernels (13 SPLASH-3 + 7 PARSEC
- * analogs, Table IV of the paper). Each kernel reproduces the
+ * Declarations of the application kernels: the 20 paper analogs
+ * (13 SPLASH-3 + 7 PARSEC, Table IV) plus the server-class additions
+ * from the ROADMAP. Each paper kernel reproduces the
  * dominant sharing pattern and the approximate L1 miss intensity of
  * its namesake; see each app's .cc for the modeling notes.
  */
@@ -41,6 +42,9 @@ Task dedup(Thread &t, const WorkloadParams &p);
 Task fluidanimate(Thread &t, const WorkloadParams &p);
 Task ferret(Thread &t, const WorkloadParams &p);
 Task freqmine(Thread &t, const WorkloadParams &p);
+
+// Server-class (ROADMAP: beyond the paper's Table IV)
+Task kvStore(Thread &t, const WorkloadParams &p);
 
 } // namespace widir::workload::apps
 

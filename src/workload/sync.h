@@ -49,8 +49,10 @@ lockAcquire(Thread &t, Addr lock)
             // Compare-and-swap: a FAILED acquisition performs no store
             // (and, under WiDir, broadcasts nothing).
             std::uint64_t old = co_await t.cas(lock, 0, 1);
-            if (old == 0)
+            if (old == 0) {
+                t.note(cpu::SyncNote::LockAcquire, lock);
                 co_return;
+            }
             // Lost the race: several contenders just woke; back off
             // harder than after a mere busy observation.
             pause = 16 + t.rng().below(32);
@@ -70,6 +72,7 @@ lockRelease(Thread &t, Addr lock)
     co_await t.fence();
     co_await t.store(lock, 0);
     co_await t.fence();
+    t.note(cpu::SyncNote::LockRelease, lock);
 }
 
 /** Spin until the word at @p addr equals @p want. */
@@ -111,6 +114,7 @@ barrierWait(Thread &t, Addr count, Addr sense, bool &local_sense)
     local_sense = !local_sense;
     std::uint64_t want = local_sense ? 1 : 0;
     std::uint64_t arrived = (co_await t.fetchAdd(count, 1)) + 1;
+    t.note(cpu::SyncNote::BarrierArrive, count);
     if (arrived == t.numThreads()) {
         // Last arrival: reset the counter, then flip the sense. The
         // fence orders the reset before the flip becomes visible.
@@ -118,9 +122,11 @@ barrierWait(Thread &t, Addr count, Addr sense, bool &local_sense)
         co_await t.fence();
         co_await t.store(sense, want);
         co_await t.fence();
+        t.note(cpu::SyncNote::BarrierDepart, sense);
         co_return;
     }
     co_await spinUntilEquals(t, sense, want);
+    t.note(cpu::SyncNote::BarrierDepart, sense);
 }
 
 /** Barrier on the canonical AddrMap slots. */
@@ -140,6 +146,7 @@ inline ValueTask<std::uint64_t>
 taskPop(Thread &t, Addr head)
 {
     std::uint64_t idx = co_await t.fetchAdd(head, 1);
+    t.note(cpu::SyncNote::TaskClaim, head);
     co_return idx;
 }
 

@@ -63,6 +63,8 @@ fakeResult()
     r.executedEvents = 424242;
     r.hostSeconds = 0.5;
     r.hostEventsPerSec = 848484.0;
+    r.hostMsgpoolGrew = 3;
+    r.hostMapRehashes = 9;
     return r;
 }
 
@@ -132,6 +134,8 @@ expectRoundTrips(const ExperimentResult &r, const sys::json::Value &v)
     EXPECT_EQ(v.find("host_wall_seconds")->number, r.hostSeconds);
     EXPECT_EQ(v.find("host_events_per_sec")->number,
               r.hostEventsPerSec);
+    EXPECT_EQ(v.find("host_msgpool_grew")->asUint(), r.hostMsgpoolGrew);
+    EXPECT_EQ(v.find("host_map_rehashes")->asUint(), r.hostMapRehashes);
 
     const auto *energy = v.find("energy");
     ASSERT_TRUE(energy && energy->isObject());
@@ -291,6 +295,46 @@ TEST(Report, FaultBlockRoundTripsOnlyWhenArmed)
     EXPECT_EQ(f->find("tone_retries")->asUint(), r.toneRetries);
     EXPECT_EQ(f->find("wireless_fallbacks")->asUint(),
               r.wirelessFallbacks);
+}
+
+TEST(Report, FrontendBlockRoundTripsOnlyWhenNonDefault)
+{
+    // Default (coroutine) runs emit no "frontend" key: classic sweeps
+    // stay byte-identical to documents written before frontends
+    // existed.
+    ExperimentResult plain = fakeResult();
+    sys::json::Value doc;
+    std::string err;
+    ASSERT_TRUE(sys::json::parse(sys::resultsToJson("plain", {plain}),
+                                 doc, &err))
+        << err;
+    EXPECT_EQ(doc.find("results")->array[0].find("frontend"), nullptr);
+
+    // Recording run: kind + record_path, no replay_path.
+    ExperimentResult rec = fakeResult();
+    rec.frontendKind = frontend::FrontendKind::Record;
+    rec.recordPath = "out/traces/fft.mtrace";
+    ASSERT_TRUE(sys::json::parse(sys::resultsToJson("rec", {rec}), doc,
+                                 &err))
+        << err;
+    const auto *fb = doc.find("results")->array[0].find("frontend");
+    ASSERT_TRUE(fb && fb->isObject());
+    EXPECT_EQ(fb->find("kind")->string, "record");
+    EXPECT_EQ(fb->find("record_path")->string, rec.recordPath);
+    EXPECT_EQ(fb->find("replay_path"), nullptr);
+
+    // Replay run: kind + replay_path, no record_path.
+    ExperimentResult rep = fakeResult();
+    rep.frontendKind = frontend::FrontendKind::ReplayFast;
+    rep.replayPath = "out/traces/fft.mtrace";
+    ASSERT_TRUE(sys::json::parse(sys::resultsToJson("rep", {rep}), doc,
+                                 &err))
+        << err;
+    fb = doc.find("results")->array[0].find("frontend");
+    ASSERT_TRUE(fb && fb->isObject());
+    EXPECT_EQ(fb->find("kind")->string, "replay-fast");
+    EXPECT_EQ(fb->find("replay_path")->string, rep.replayPath);
+    EXPECT_EQ(fb->find("record_path"), nullptr);
 }
 
 TEST(JsonParser, AcceptsScalarsAndNesting)

@@ -12,7 +12,8 @@ set -u
 
 root="${1:-.}"
 gen="${2:-}"
-for d in docs/PROTOCOL.md docs/TRACING.md docs/FAULTS.md; do
+for d in docs/PROTOCOL.md docs/TRACING.md docs/FAULTS.md \
+         docs/FRONTEND.md; do
     if [ ! -f "$root/$d" ]; then
         echo "docs-check: missing $root/$d" >&2
         exit 1
@@ -84,6 +85,9 @@ check_enum src/wireless/frame.h FrameKind
 check_enum src/sim/trace.h TraceKind docs/TRACING.md
 check_enum src/sim/trace.h TraceComponent docs/TRACING.md
 check_enum src/fault/fault.h FrameFate docs/FAULTS.md
+check_enum src/frontend/mtrace.h OpKind docs/FRONTEND.md
+check_enum src/cpu/op_sink.h SyncNote docs/FRONTEND.md
+check_enum src/frontend/frontend.h FrontendKind docs/FRONTEND.md
 
 # The generated transition-relation section must be byte-identical to
 # what the compiled-in protocol table renders (docs == code).
